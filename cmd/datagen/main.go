@@ -1,0 +1,81 @@
+// Command datagen generates dataset and query workload files in the CSV
+// formats of package dataio.
+//
+// Usage:
+//
+//	datagen -kind roads -n 1000000 -out roads.csv
+//	datagen -kind uniform -n 500000 -area 1e-10 -out uni.csv
+//	datagen -kind zipf -n 500000 -area 1e-10 -out zipf.csv
+//	datagen -kind roads -n 100000 -queries 10000 -relextent 0.001 -out q.csv
+//
+// With -queries set, the tool emits window queries (as rectangles) drawn
+// over the generated dataset instead of the dataset itself.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/twolayer/twolayer/internal/datagen"
+	"github.com/twolayer/twolayer/internal/dataio"
+	"github.com/twolayer/twolayer/internal/spatial"
+)
+
+func main() {
+	kind := flag.String("kind", "uniform", "roads | edges | tiger | uniform | zipf")
+	n := flag.Int("n", 100000, "dataset cardinality")
+	area := flag.Float64("area", 1e-10, "object area (synthetic kinds)")
+	seed := flag.Int64("seed", 1, "generator seed")
+	out := flag.String("out", "", "output file (default stdout)")
+	queries := flag.Int("queries", 0, "emit this many window queries instead of the dataset")
+	relarea := flag.Float64("relextent", 0.001, "relative query extent (with -queries)")
+	format := flag.String("format", "csv", "dataset output format: csv | wkt")
+	flag.Parse()
+
+	var d *spatial.Dataset
+	switch *kind {
+	case "roads":
+		d = datagen.RealLikeDataset(datagen.Roads, *n, *seed)
+	case "edges":
+		d = datagen.RealLikeDataset(datagen.Edges, *n, *seed)
+	case "tiger":
+		d = datagen.RealLikeDataset(datagen.Tiger, *n, *seed)
+	case "uniform":
+		d = datagen.Dataset(datagen.Spec{N: *n, Area: *area, Dist: datagen.Uniform, Seed: *seed})
+	case "zipf":
+		d = datagen.Dataset(datagen.Spec{N: *n, Area: *area, Dist: datagen.Zipf, Seed: *seed})
+	default:
+		fmt.Fprintf(os.Stderr, "unknown kind %q\n", *kind)
+		os.Exit(2)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	var err error
+	switch {
+	case *queries > 0:
+		qs := datagen.Windows(d, datagen.QuerySpec{N: *queries, RelExtent: *relarea, Seed: *seed + 1})
+		err = dataio.WriteRects(w, qs)
+	case *format == "wkt":
+		err = dataio.WriteWKT(w, d)
+	default:
+		err = dataio.WriteDataset(w, d)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	s := datagen.Stats(d)
+	fmt.Fprintf(os.Stderr, "generated %s: card=%d avgX=%.8f avgY=%.8f\n",
+		*kind, s.Cardinality, s.AvgXExtent, s.AvgYExtent)
+}

@@ -1,0 +1,127 @@
+package twolayer_test
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	twolayer "github.com/twolayer/twolayer"
+)
+
+// The basic lifecycle: build over MBRs, run a window query.
+func ExampleBuildRects() {
+	objects := []twolayer.Rect{
+		{MinX: 0.10, MinY: 0.10, MaxX: 0.20, MaxY: 0.20},
+		{MinX: 0.50, MinY: 0.40, MaxX: 0.80, MaxY: 0.60},
+		{MinX: 0.15, MinY: 0.45, MaxX: 0.30, MaxY: 0.55},
+	}
+	idx := twolayer.BuildRects(objects, twolayer.Options{GridSize: 8})
+
+	window := twolayer.Rect{MinX: 0, MinY: 0, MaxX: 0.55, MaxY: 0.55}
+	ids := idx.WindowIDs(window, nil)
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	fmt.Println(ids)
+	// Output: [0 1 2]
+}
+
+// Exact geometries: refinement runs only when the secondary filter
+// cannot prove the result.
+func ExampleIndex_WindowExact() {
+	triangle := twolayer.NewPolygon(
+		twolayer.Point{X: 0.0, Y: 0.0},
+		twolayer.Point{X: 0.4, Y: 0.0},
+		twolayer.Point{X: 0.0, Y: 0.4},
+	)
+	idx := twolayer.BuildGeoms([]twolayer.Geometry{triangle}, twolayer.Options{GridSize: 8})
+
+	// This window intersects the triangle's MBR but not the triangle.
+	miss := twolayer.Rect{MinX: 0.3, MinY: 0.3, MaxX: 0.39, MaxY: 0.39}
+	n := 0
+	idx.WindowExact(miss, twolayer.RefineAvoidPlus, func(twolayer.ID) { n++ })
+	fmt.Println("corner window:", n)
+
+	hit := twolayer.Rect{MinX: 0.0, MinY: 0.0, MaxX: 0.1, MaxY: 0.1}
+	idx.WindowExact(hit, twolayer.RefineAvoidPlus, func(twolayer.ID) { n++ })
+	fmt.Println("origin window:", n)
+	// Output:
+	// corner window: 0
+	// origin window: 1
+}
+
+// Disk (distance) queries report every object within the radius.
+func ExampleIndex_DiskCount() {
+	objects := []twolayer.Rect{
+		{MinX: 0.48, MinY: 0.48, MaxX: 0.52, MaxY: 0.52}, // at the center
+		{MinX: 0.90, MinY: 0.90, MaxX: 0.95, MaxY: 0.95}, // far away
+	}
+	idx := twolayer.BuildRects(objects, twolayer.Options{GridSize: 8})
+	fmt.Println(idx.DiskCount(twolayer.Point{X: 0.5, Y: 0.5}, 0.1))
+	// Output: 1
+}
+
+// k-nearest-neighbor search returns ascending distances.
+func ExampleIndex_KNN() {
+	objects := []twolayer.Rect{
+		{MinX: 0.1, MinY: 0.1, MaxX: 0.11, MaxY: 0.11},
+		{MinX: 0.5, MinY: 0.5, MaxX: 0.51, MaxY: 0.51},
+		{MinX: 0.9, MinY: 0.9, MaxX: 0.91, MaxY: 0.91},
+	}
+	idx := twolayer.BuildRects(objects, twolayer.Options{GridSize: 8})
+	for _, n := range idx.KNN(twolayer.Point{X: 0.52, Y: 0.52}, 2) {
+		fmt.Printf("id=%d dist=%.2f\n", n.ID, n.Dist)
+	}
+	// Output:
+	// id=1 dist=0.01
+	// id=2 dist=0.54
+}
+
+// Spatial joins stream each intersecting pair exactly once.
+func ExampleIndex_Join() {
+	space := twolayer.Rect{MaxX: 1, MaxY: 1}
+	opts := twolayer.Options{GridSize: 8, Space: space}
+	roads := twolayer.BuildRects([]twolayer.Rect{
+		{MinX: 0.1, MinY: 0.2, MaxX: 0.6, MaxY: 0.22},
+	}, opts)
+	parcels := twolayer.BuildRects([]twolayer.Rect{
+		{MinX: 0.2, MinY: 0.1, MaxX: 0.3, MaxY: 0.3}, // crossed by the road
+		{MinX: 0.7, MinY: 0.7, MaxX: 0.8, MaxY: 0.8}, // not crossed
+	}, opts)
+	roads.Join(parcels, func(road, parcel twolayer.ID) {
+		fmt.Printf("road %d crosses parcel %d\n", road, parcel)
+	})
+	// Output: road 0 crosses parcel 0
+}
+
+// Batches evaluate many queries with cache-conscious tile-at-a-time
+// processing.
+func ExampleIndex_BatchWindowCounts() {
+	objects := []twolayer.Rect{
+		{MinX: 0.1, MinY: 0.1, MaxX: 0.2, MaxY: 0.2},
+		{MinX: 0.6, MinY: 0.6, MaxX: 0.7, MaxY: 0.7},
+	}
+	idx := twolayer.BuildRects(objects, twolayer.Options{GridSize: 8})
+	queries := []twolayer.Rect{
+		{MinX: 0.0, MinY: 0.0, MaxX: 0.3, MaxY: 0.3},
+		{MinX: 0.0, MinY: 0.0, MaxX: 1.0, MaxY: 1.0},
+	}
+	fmt.Println(idx.BatchWindowCounts(queries, twolayer.TilesBased, 1))
+	// Output: [1 2]
+}
+
+// Indices persist without their geometries and load back ready to query.
+func ExampleIndex_Save() {
+	idx := twolayer.BuildRects([]twolayer.Rect{
+		{MinX: 0.4, MinY: 0.4, MaxX: 0.6, MaxY: 0.6},
+	}, twolayer.Options{GridSize: 8})
+
+	var buf bytes.Buffer
+	if _, err := idx.Save(&buf); err != nil {
+		panic(err)
+	}
+	loaded, err := twolayer.Load(&buf)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(loaded.WindowCount(twolayer.Rect{MaxX: 1, MaxY: 1}))
+	// Output: 1
+}

@@ -1,0 +1,51 @@
+// Quickstart: build a two-layer index over rectangle objects and run
+// window and disk range queries.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	twolayer "github.com/twolayer/twolayer"
+)
+
+func main() {
+	// One million small rectangles scattered over the unit square.
+	rnd := rand.New(rand.NewSource(1))
+	rects := make([]twolayer.Rect, 1_000_000)
+	for i := range rects {
+		x, y := rnd.Float64(), rnd.Float64()
+		rects[i] = twolayer.Rect{MinX: x, MinY: y, MaxX: x + 0.001, MaxY: y + 0.001}
+	}
+
+	// GridSize is tiles per dimension; Decompose enables the 2-layer+
+	// sorted tables, the fastest configuration for static data.
+	idx := twolayer.BuildRects(rects, twolayer.Options{GridSize: 512, Decompose: true})
+	fmt.Printf("indexed %d objects, replication factor %.3f, ~%d MB\n",
+		idx.Len(), idx.ReplicationFactor(), idx.MemoryFootprint()/(1<<20))
+
+	// A window query: every object whose MBR intersects the window is
+	// reported exactly once — no duplicate elimination happens anywhere.
+	window := twolayer.Rect{MinX: 0.40, MinY: 0.40, MaxX: 0.43, MaxY: 0.43}
+	fmt.Printf("window %v -> %d objects\n", window, idx.WindowCount(window))
+
+	// Stream results instead of counting.
+	shown := 0
+	idx.Window(window, func(id twolayer.ID, mbr twolayer.Rect) {
+		if shown < 3 {
+			fmt.Printf("  id=%d mbr=%v\n", id, mbr)
+			shown++
+		}
+	})
+
+	// A disk query: all objects within distance 0.02 of a point.
+	center := twolayer.Point{X: 0.5, Y: 0.5}
+	fmt.Printf("disk around %v -> %d objects\n", center, idx.DiskCount(center, 0.02))
+
+	// The index is dynamic: insert and delete by (id, MBR).
+	extra := twolayer.Rect{MinX: 0.415, MinY: 0.415, MaxX: 0.418, MaxY: 0.418}
+	idx.Insert(twolayer.ID(len(rects)), extra)
+	fmt.Printf("after insert: %d objects in window\n", idx.WindowCount(window))
+	idx.Delete(twolayer.ID(len(rects)), extra)
+	fmt.Printf("after delete: %d objects in window\n", idx.WindowCount(window))
+}

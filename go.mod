@@ -1,0 +1,3 @@
+module github.com/twolayer/twolayer
+
+go 1.22

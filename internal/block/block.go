@@ -1,0 +1,229 @@
+// Package block reimplements, from its published description, the BLOCK
+// index (Olma et al., SSDBM 2017): a hierarchy of uniform grids where each
+// object is stored at the level whose cell size matches the object's
+// extent. Level l partitions the space into 2^l x 2^l cells; an object is
+// placed at the deepest level whose cells still cover its MBR, in the
+// single cell containing its minimum corner, so no replication and no
+// duplicate handling are needed. A window query probes every level,
+// expanding the probe window by one cell (an object's minimum corner lies
+// at most one cell before the window in each dimension).
+//
+// The original system targets 3D neuroscience meshes; this 2D
+// reimplementation stands in for it in the Table V comparison.
+package block
+
+import (
+	"github.com/twolayer/twolayer/internal/geom"
+	"github.com/twolayer/twolayer/internal/spatial"
+)
+
+// DefaultLevels is the default depth of the grid hierarchy (finest level
+// has 2^(DefaultLevels-1) cells per dimension).
+const DefaultLevels = 11
+
+// Options configure the index.
+type Options struct {
+	// Space is the indexed region (default: dataset MBR in Build, the
+	// unit square in New).
+	Space geom.Rect
+	// Levels is the number of grid levels (default DefaultLevels).
+	Levels int
+}
+
+// level is one uniform grid of the hierarchy, stored sparsely.
+type level struct {
+	n            int // cells per dimension (2^l)
+	cellW, cellH float64
+	cells        map[int64][]spatial.Entry
+}
+
+// Index is the hierarchy of grids.
+type Index struct {
+	space  geom.Rect
+	levels []level
+	size   int
+}
+
+// New returns an empty index.
+func New(opts Options) *Index {
+	if opts.Space == (geom.Rect{}) {
+		opts.Space = geom.Rect{MaxX: 1, MaxY: 1}
+	}
+	if opts.Levels == 0 {
+		opts.Levels = DefaultLevels
+	}
+	ix := &Index{space: opts.Space, levels: make([]level, opts.Levels)}
+	for l := range ix.levels {
+		n := 1 << l
+		ix.levels[l] = level{
+			n:     n,
+			cellW: opts.Space.Width() / float64(n),
+			cellH: opts.Space.Height() / float64(n),
+			cells: make(map[int64][]spatial.Entry),
+		}
+	}
+	return ix
+}
+
+// Build constructs the index over a dataset.
+func Build(d *spatial.Dataset, opts Options) *Index {
+	if opts.Space == (geom.Rect{}) {
+		opts.Space = d.MBR()
+	}
+	ix := New(opts)
+	for _, e := range d.Entries {
+		ix.Insert(e)
+	}
+	return ix
+}
+
+// Len returns the number of stored objects.
+func (ix *Index) Len() int { return ix.size }
+
+// levelFor returns the deepest level whose cell size covers the object in
+// both dimensions.
+func (ix *Index) levelFor(r geom.Rect) int {
+	w, h := r.Width(), r.Height()
+	best := 0
+	for l := range ix.levels {
+		if ix.levels[l].cellW >= w && ix.levels[l].cellH >= h {
+			best = l
+		} else {
+			break // cells only shrink with depth
+		}
+	}
+	return best
+}
+
+func clamp(v, n int) int {
+	if v < 0 {
+		return 0
+	}
+	if v >= n {
+		return n - 1
+	}
+	return v
+}
+
+// cellOf returns the clamped cell coordinates of point p at level l.
+func (ix *Index) cellOf(l int, p geom.Point) (int, int) {
+	lv := &ix.levels[l]
+	cx := clamp(int((p.X-ix.space.MinX)/lv.cellW), lv.n)
+	cy := clamp(int((p.Y-ix.space.MinY)/lv.cellH), lv.n)
+	return cx, cy
+}
+
+// Insert stores one object in its level's cell.
+func (ix *Index) Insert(e spatial.Entry) {
+	l := ix.levelFor(e.Rect)
+	cx, cy := ix.cellOf(l, geom.Point{X: e.Rect.MinX, Y: e.Rect.MinY})
+	key := int64(cy)*int64(ix.levels[l].n) + int64(cx)
+	ix.levels[l].cells[key] = append(ix.levels[l].cells[key], e)
+	ix.size++
+}
+
+// Delete removes the object with the given id and exact MBR.
+func (ix *Index) Delete(id spatial.ID, r geom.Rect) bool {
+	l := ix.levelFor(r)
+	cx, cy := ix.cellOf(l, geom.Point{X: r.MinX, Y: r.MinY})
+	key := int64(cy)*int64(ix.levels[l].n) + int64(cx)
+	list := ix.levels[l].cells[key]
+	for i := range list {
+		if list[i].ID == id {
+			list[i] = list[len(list)-1]
+			ix.levels[l].cells[key] = list[:len(list)-1]
+			ix.size--
+			return true
+		}
+	}
+	return false
+}
+
+// Window runs the filtering step of a window query.
+func (ix *Index) Window(w geom.Rect, fn func(e spatial.Entry)) {
+	if !w.Valid() {
+		return
+	}
+	for l := range ix.levels {
+		lv := &ix.levels[l]
+		if len(lv.cells) == 0 {
+			continue
+		}
+		// Expand by one cell on the min side: an object stored here
+		// extends at most one cell beyond its min-corner cell.
+		x0, y0 := ix.cellOf(l, geom.Point{X: w.MinX - lv.cellW, Y: w.MinY - lv.cellH})
+		x1, y1 := ix.cellOf(l, geom.Point{X: w.MaxX, Y: w.MaxY})
+		// For sparse levels, iterating the map beats scanning the range.
+		if int64(x1-x0+1)*int64(y1-y0+1) > int64(len(lv.cells)) {
+			for _, entries := range lv.cells {
+				for i := range entries {
+					if entries[i].Rect.Intersects(w) {
+						fn(entries[i])
+					}
+				}
+			}
+			continue
+		}
+		for cy := y0; cy <= y1; cy++ {
+			for cx := x0; cx <= x1; cx++ {
+				key := int64(cy)*int64(lv.n) + int64(cx)
+				entries, ok := lv.cells[key]
+				if !ok {
+					continue
+				}
+				for i := range entries {
+					if entries[i].Rect.Intersects(w) {
+						fn(entries[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// WindowIDs collects result IDs into buf.
+func (ix *Index) WindowIDs(w geom.Rect, buf []spatial.ID) []spatial.ID {
+	buf = buf[:0]
+	ix.Window(w, func(e spatial.Entry) { buf = append(buf, e.ID) })
+	return buf
+}
+
+// WindowCount returns the number of MBRs intersecting w.
+func (ix *Index) WindowCount(w geom.Rect) int {
+	n := 0
+	ix.Window(w, func(spatial.Entry) { n++ })
+	return n
+}
+
+// Disk runs the filtering step of a disk query via the MBR window plus a
+// distance test.
+func (ix *Index) Disk(center geom.Point, radius float64, fn func(e spatial.Entry)) {
+	if radius < 0 {
+		return
+	}
+	r2 := radius * radius
+	ix.Window(geom.Disk{Center: center, Radius: radius}.MBR(), func(e spatial.Entry) {
+		if e.Rect.DistSqToPoint(center) <= r2 {
+			fn(e)
+		}
+	})
+}
+
+// DiskCount returns the number of MBRs intersecting the disk.
+func (ix *Index) DiskCount(center geom.Point, radius float64) int {
+	n := 0
+	ix.Disk(center, radius, func(spatial.Entry) { n++ })
+	return n
+}
+
+// LevelCounts returns the number of objects stored per level, for
+// diagnostics and tests.
+func (ix *Index) LevelCounts() []int {
+	out := make([]int, len(ix.levels))
+	for l := range ix.levels {
+		for _, entries := range ix.levels[l].cells {
+			out[l] += len(entries)
+		}
+	}
+	return out
+}

@@ -1,0 +1,132 @@
+package block
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"github.com/twolayer/twolayer/internal/geom"
+	"github.com/twolayer/twolayer/internal/spatial"
+)
+
+func randRects(rnd *rand.Rand, n int, maxSide float64) []geom.Rect {
+	rects := make([]geom.Rect, n)
+	for i := range rects {
+		x, y := rnd.Float64(), rnd.Float64()
+		rects[i] = geom.Rect{MinX: x, MinY: y, MaxX: x + rnd.Float64()*maxSide, MaxY: y + rnd.Float64()*maxSide}
+	}
+	return rects
+}
+
+func sameIDs(t *testing.T, got, want []spatial.ID, context string) {
+	t.Helper()
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	if len(got) != len(want) {
+		t.Fatalf("%s: got %d, want %d", context, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: result %d = %d, want %d", context, i, got[i], want[i])
+		}
+	}
+}
+
+// TestWindowMatchesBruteForce across object sizes, including objects much
+// larger than fine cells (they settle on coarse levels).
+func TestWindowMatchesBruteForce(t *testing.T) {
+	rnd := rand.New(rand.NewSource(111))
+	for _, maxSide := range []float64{0.001, 0.05, 0.4} {
+		d := spatial.NewDataset(randRects(rnd, 800, maxSide))
+		ix := Build(d, Options{Space: geom.Rect{MaxX: 1.5, MaxY: 1.5}})
+		for q := 0; q < 60; q++ {
+			x, y := rnd.Float64()*1.2-0.1, rnd.Float64()*1.2-0.1
+			w := geom.Rect{MinX: x, MinY: y, MaxX: x + rnd.Float64()*0.3, MaxY: y + rnd.Float64()*0.3}
+			got := ix.WindowIDs(w, nil)
+			seen := map[spatial.ID]bool{}
+			for _, id := range got {
+				if seen[id] {
+					t.Fatalf("duplicate %d", id)
+				}
+				seen[id] = true
+			}
+			sameIDs(t, got, spatial.BruteWindow(d.Entries, w), "window")
+		}
+	}
+}
+
+// TestDiskMatchesBruteForce.
+func TestDiskMatchesBruteForce(t *testing.T) {
+	rnd := rand.New(rand.NewSource(112))
+	d := spatial.NewDataset(randRects(rnd, 600, 0.05))
+	ix := Build(d, Options{})
+	for q := 0; q < 60; q++ {
+		c := geom.Point{X: rnd.Float64(), Y: rnd.Float64()}
+		radius := rnd.Float64() * 0.25
+		var got []spatial.ID
+		ix.Disk(c, radius, func(e spatial.Entry) { got = append(got, e.ID) })
+		sameIDs(t, got, spatial.BruteDisk(d.Entries, c, radius), "disk")
+	}
+}
+
+// TestLevelAssignment: objects are stored once, at a level whose cell
+// covers them.
+func TestLevelAssignment(t *testing.T) {
+	rnd := rand.New(rand.NewSource(113))
+	d := spatial.NewDataset(randRects(rnd, 500, 0.3))
+	ix := Build(d, Options{Space: geom.Rect{MaxX: 2, MaxY: 2}})
+	counts := ix.LevelCounts()
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != d.Len() {
+		t.Errorf("stored %d entries for %d objects (replication must not happen)", total, d.Len())
+	}
+	// Tiny objects must not sit at the root level.
+	tiny := spatial.NewDataset([]geom.Rect{{MinX: 0.5, MinY: 0.5, MaxX: 0.5001, MaxY: 0.5001}})
+	tix := Build(tiny, Options{Space: geom.Rect{MaxX: 1, MaxY: 1}, Levels: 8})
+	c := tix.LevelCounts()
+	if c[len(c)-1] != 1 {
+		t.Errorf("tiny object not at finest level: %v", c)
+	}
+}
+
+// TestInsertDelete round-trip.
+func TestInsertDelete(t *testing.T) {
+	rnd := rand.New(rand.NewSource(114))
+	rects := randRects(rnd, 300, 0.1)
+	ix := New(Options{Space: geom.Rect{MaxX: 1.2, MaxY: 1.2}})
+	for i, r := range rects {
+		ix.Insert(spatial.Entry{Rect: r, ID: spatial.ID(i)})
+	}
+	remaining := []spatial.Entry{}
+	for i, r := range rects {
+		if i%2 == 0 {
+			if !ix.Delete(spatial.ID(i), r) {
+				t.Fatalf("Delete(%d) not found", i)
+			}
+		} else {
+			remaining = append(remaining, spatial.Entry{Rect: r, ID: spatial.ID(i)})
+		}
+	}
+	if ix.Delete(9999, rects[0]) {
+		t.Error("delete of missing id succeeded")
+	}
+	for q := 0; q < 30; q++ {
+		x, y := rnd.Float64(), rnd.Float64()
+		w := geom.Rect{MinX: x, MinY: y, MaxX: x + 0.2, MaxY: y + 0.2}
+		sameIDs(t, ix.WindowIDs(w, nil), spatial.BruteWindow(remaining, w), "after delete")
+	}
+}
+
+// TestEmptyIndex.
+func TestEmptyIndex(t *testing.T) {
+	ix := New(Options{})
+	if n := ix.WindowCount(geom.Rect{MaxX: 1, MaxY: 1}); n != 0 {
+		t.Errorf("empty index returned %d", n)
+	}
+	if n := ix.DiskCount(geom.Point{X: 0.5, Y: 0.5}, 0.5); n != 0 {
+		t.Errorf("empty disk returned %d", n)
+	}
+}

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"github.com/twolayer/twolayer/internal/geom"
+	"github.com/twolayer/twolayer/internal/spatial"
+)
+
+// TestBatchDiskStrategiesAgree: both strategies equal one-at-a-time disk
+// evaluation, serial and parallel.
+func TestBatchDiskStrategiesAgree(t *testing.T) {
+	rnd := rand.New(rand.NewSource(161))
+	ix, d := buildRandom(rnd, 1500, 0.05, Options{NX: 16, NY: 16})
+	queries := make([]geom.Disk, 150)
+	for i := range queries {
+		queries[i] = geom.Disk{
+			Center: geom.Point{X: rnd.Float64() * 1.1, Y: rnd.Float64() * 1.1},
+			Radius: rnd.Float64() * 0.2,
+		}
+	}
+	want := make([]int, len(queries))
+	for i, q := range queries {
+		want[i] = len(spatial.BruteDisk(d.Entries, q.Center, q.Radius))
+	}
+	for _, strategy := range []BatchStrategy{QueriesBased, TilesBased} {
+		for _, threads := range []int{1, 4, 0} {
+			got := ix.BatchDiskCounts(queries, strategy, threads)
+			for i := range queries {
+				if got[i] != want[i] {
+					t.Fatalf("%v threads=%d query %d: %d, want %d",
+						strategy, threads, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestBatchDiskNoDuplicates: the tiles-based path must deliver each
+// (query, object) pair once.
+func TestBatchDiskNoDuplicates(t *testing.T) {
+	rnd := rand.New(rand.NewSource(162))
+	ix, _ := buildRandom(rnd, 800, 0.2, Options{NX: 16, NY: 16})
+	queries := []geom.Disk{
+		{Center: geom.Point{X: 0.5, Y: 0.5}, Radius: 0.3},
+		{Center: geom.Point{X: 0.2, Y: 0.8}, Radius: 0.15},
+	}
+	seen := map[[2]uint32]bool{}
+	ix.BatchDisk(queries, TilesBased, 1, func(q int, e spatial.Entry) {
+		key := [2]uint32{uint32(q), e.ID}
+		if seen[key] {
+			t.Fatalf("duplicate pair %v", key)
+		}
+		seen[key] = true
+	})
+}
+
+// TestKNNExactMatchesBruteForce over mixed geometries.
+func TestKNNExactMatchesBruteForce(t *testing.T) {
+	rnd := rand.New(rand.NewSource(163))
+	geoms := randGeoms(rnd, 400, 0.05)
+	d := spatial.NewGeomDataset(geoms)
+	ix := Build(d, Options{NX: 16, NY: 16})
+	for trial := 0; trial < 40; trial++ {
+		q := geom.Point{X: rnd.Float64(), Y: rnd.Float64()}
+		k := 1 + rnd.Intn(15)
+		got := ix.KNNExact(q, k)
+
+		dists := make([]float64, len(geoms))
+		for i, g := range geoms {
+			dists[i] = math.Sqrt(exactDistSq(g, q))
+		}
+		sort.Float64s(dists)
+		if len(got) != k {
+			t.Fatalf("got %d results", len(got))
+		}
+		for i := range got {
+			if math.Abs(got[i].Dist-dists[i]) > 1e-9 {
+				t.Fatalf("k=%d result %d: %v, want %v", k, i, got[i].Dist, dists[i])
+			}
+		}
+	}
+}
+
+// TestKNNExactVsFiltering: exact distances are never below MBR distances,
+// and for rectangle datasets KNN and KNNExact agree.
+func TestKNNExactVsFiltering(t *testing.T) {
+	rnd := rand.New(rand.NewSource(164))
+	ix, _ := buildRandom(rnd, 300, 0.05, Options{NX: 8, NY: 8})
+	q := geom.Point{X: 0.5, Y: 0.5}
+	a := ix.KNN(q, 10)
+	b := ix.KNNExact(q, 10)
+	for i := range a {
+		if math.Abs(a[i].Dist-b[i].Dist) > 1e-12 {
+			t.Fatalf("rect dataset: KNN and KNNExact disagree at %d", i)
+		}
+	}
+}
+
+// TestKNNExactRequiresDataset documents the contract.
+func TestKNNExactRequiresDataset(t *testing.T) {
+	ix := New(Options{})
+	ix.Insert(spatial.Entry{Rect: geom.Rect{MaxX: 0.1, MaxY: 0.1}})
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic without dataset")
+		}
+	}()
+	ix.KNNExact(geom.Point{}, 1)
+}
+
+// TestExactDistSqFallback: the generic bisection fallback matches the
+// specialized distance for a known geometry type.
+func TestExactDistSqFallback(t *testing.T) {
+	poly := geom.NewPolygon(
+		geom.Point{X: 0.2, Y: 0.2}, geom.Point{X: 0.4, Y: 0.2}, geom.Point{X: 0.3, Y: 0.4})
+	q := geom.Point{X: 0.8, Y: 0.3}
+	want := poly.DistSqToPoint(q)
+	got := exactDistSq(opaqueGeom{poly}, q)
+	if math.Abs(math.Sqrt(got)-math.Sqrt(want)) > 1e-9 {
+		t.Errorf("fallback distance %v, want %v", got, want)
+	}
+}
+
+// opaqueGeom hides the concrete type to force the generic fallback.
+type opaqueGeom struct{ g geom.Geometry }
+
+func (o opaqueGeom) MBR() geom.Rect                  { return o.g.MBR() }
+func (o opaqueGeom) IntersectsRect(r geom.Rect) bool { return o.g.IntersectsRect(r) }
+func (o opaqueGeom) IntersectsDisk(c geom.Point, r float64) bool {
+	return o.g.IntersectsDisk(c, r)
+}

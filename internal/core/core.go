@@ -1,0 +1,342 @@
+// Package core implements the paper's primary contribution: a two-layer
+// spatial partitioning index for non-point objects.
+//
+// The primary layer is a regular grid (space-oriented partitioning). An
+// object MBR is replicated into every tile it intersects. The secondary
+// layer divides the MBRs assigned to each tile into four classes:
+//
+//	A — the MBR begins inside the tile in both dimensions,
+//	B — begins inside the tile in x, before the tile in y,
+//	C — begins before the tile in x, inside the tile in y,
+//	D — begins before the tile in both dimensions.
+//
+// During range query evaluation, each intersected tile is scanned only in
+// the classes that cannot yield duplicate results (Lemmas 1 and 2 of the
+// paper), so duplicates are never generated and never need elimination.
+// Tiles on the border of the query need at most one comparison per
+// dimension per rectangle (Lemmas 3 and 4); interior tiles need none.
+//
+// The optional decomposed storage ("2-layer+", Section IV-C of the paper)
+// keeps per-class sorted coordinate tables so border tiles are answered
+// with binary search instead of per-rectangle comparisons.
+package core
+
+import (
+	"fmt"
+
+	"github.com/twolayer/twolayer/internal/geom"
+	"github.com/twolayer/twolayer/internal/grid"
+	"github.com/twolayer/twolayer/internal/spatial"
+)
+
+// Class identifies one of the four secondary partitions of a tile.
+type Class uint8
+
+// The four object classes of the secondary partitioning.
+const (
+	ClassA Class = iota // begins inside the tile in x and y
+	ClassB              // begins inside in x, before in y
+	ClassC              // begins before in x, inside in y
+	ClassD              // begins before the tile in both dimensions
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	switch c {
+	case ClassA:
+		return "A"
+	case ClassB:
+		return "B"
+	case ClassC:
+		return "C"
+	case ClassD:
+		return "D"
+	}
+	return fmt.Sprintf("Class(%d)", uint8(c))
+}
+
+// Options configure index construction.
+type Options struct {
+	// NX, NY are the number of tiles per dimension. Both default to 256.
+	NX, NY int
+	// Space is the indexed region. Objects may stick out of it; they are
+	// clamped into the border tiles. Defaults to the unit square.
+	Space geom.Rect
+	// Decompose additionally builds the sorted per-class coordinate
+	// tables of Section IV-C ("2-layer+"). Decomposed tables trade memory
+	// and build time for fewer comparisons on query borders. They are
+	// rebuilt lazily after updates.
+	Decompose bool
+	// SparseDirectory forces the hash-map tile directory. By default the
+	// index uses a dense directory when NX*NY <= DenseDirectoryLimit.
+	SparseDirectory bool
+	// DenseDirectoryLimit overrides the dense-directory cutoff
+	// (default 1<<25 tiles, a 128 MB directory).
+	DenseDirectoryLimit int
+}
+
+// DefaultDenseDirectoryLimit is the largest tile count for which a dense
+// tile directory is used by default.
+const DefaultDenseDirectoryLimit = 1 << 25
+
+// SuggestGridSize returns a grid granularity (tiles per dimension) for a
+// dataset of n objects, targeting roughly one object per tile — the
+// per-tile density regime the paper's tuning experiments (Figure 7)
+// identify as a broad optimum. The result is a power of two in
+// [64, 4096].
+func SuggestGridSize(n int) int {
+	g := 64
+	for g*g < n && g < 4096 {
+		g *= 2
+	}
+	return g
+}
+
+func (o Options) withDefaults() Options {
+	if o.NX == 0 {
+		o.NX = 256
+	}
+	if o.NY == 0 {
+		o.NY = 256
+	}
+	if o.Space == (geom.Rect{}) {
+		o.Space = geom.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}
+	}
+	if o.DenseDirectoryLimit == 0 {
+		o.DenseDirectoryLimit = DefaultDenseDirectoryLimit
+	}
+	return o
+}
+
+// tile is one primary partition with its four secondary partitions and,
+// when decomposition is enabled, the sorted coordinate tables.
+type tile struct {
+	classes [4][]spatial.Entry
+	dec     *decTile // nil until built; invalidated by updates
+}
+
+func (t *tile) size() int {
+	return len(t.classes[0]) + len(t.classes[1]) + len(t.classes[2]) + len(t.classes[3])
+}
+
+// Index is the two-layer grid index. It is safe for concurrent readers;
+// updates require external synchronization (as does any use of Stats).
+type Index struct {
+	g    *grid.Grid
+	opts Options
+
+	// Tile directory: exactly one of dense/sparse is used.
+	dense   []int32         // tile ID -> index into tiles, -1 if empty
+	sparse  map[int32]int32 // tile ID -> index into tiles
+	tiles   []tile
+	tileIDs []int32 // slot -> grid tile ID (reverse directory)
+
+	dataset *spatial.Dataset // for refinement; may be nil
+	size    int              // number of distinct objects inserted
+	knn     *knnState        // lazily allocated kNN scratch space
+
+	// Stats, when non-nil, accumulates instrumentation counters during
+	// queries. Setting it makes queries unsafe for concurrent use.
+	Stats *Stats
+}
+
+// New builds an empty two-layer index.
+func New(opts Options) *Index {
+	opts = opts.withDefaults()
+	ix := &Index{
+		g:    grid.New(opts.Space, opts.NX, opts.NY),
+		opts: opts,
+	}
+	if !opts.SparseDirectory && opts.NX*opts.NY <= opts.DenseDirectoryLimit {
+		ix.dense = make([]int32, opts.NX*opts.NY)
+		for i := range ix.dense {
+			ix.dense[i] = -1
+		}
+	} else {
+		ix.sparse = make(map[int32]int32)
+	}
+	return ix
+}
+
+// Build constructs the index over a dataset, keeping a reference to it for
+// the refinement step.
+func Build(d *spatial.Dataset, opts Options) *Index {
+	if opts.Space == (geom.Rect{}) {
+		opts.Space = d.MBR()
+	}
+	ix := New(opts)
+	ix.dataset = d
+	for _, e := range d.Entries {
+		ix.insert(e)
+	}
+	if ix.opts.Decompose {
+		ix.BuildDecomposed()
+	}
+	return ix
+}
+
+// Grid exposes the primary partitioning (read-only).
+func (ix *Index) Grid() *grid.Grid { return ix.g }
+
+// Len returns the number of distinct objects in the index.
+func (ix *Index) Len() int { return ix.size }
+
+// Dataset returns the dataset the index was built over, or nil.
+func (ix *Index) Dataset() *spatial.Dataset { return ix.dataset }
+
+// tileAt returns the tile stored for (ix,iy), or nil when empty.
+func (ix *Index) tileAt(tx, ty int) *tile {
+	id := int32(ix.g.TileID(tx, ty))
+	if ix.dense != nil {
+		if slot := ix.dense[id]; slot >= 0 {
+			return &ix.tiles[slot]
+		}
+		return nil
+	}
+	if slot, ok := ix.sparse[id]; ok {
+		return &ix.tiles[slot]
+	}
+	return nil
+}
+
+// tileFor returns the tile for (ix,iy), allocating it if needed.
+func (ix *Index) tileFor(tx, ty int) *tile {
+	id := int32(ix.g.TileID(tx, ty))
+	if ix.dense != nil {
+		if slot := ix.dense[id]; slot >= 0 {
+			return &ix.tiles[slot]
+		}
+		ix.tiles = append(ix.tiles, tile{})
+		ix.tileIDs = append(ix.tileIDs, id)
+		ix.dense[id] = int32(len(ix.tiles) - 1)
+		return &ix.tiles[len(ix.tiles)-1]
+	}
+	if slot, ok := ix.sparse[id]; ok {
+		return &ix.tiles[slot]
+	}
+	ix.tiles = append(ix.tiles, tile{})
+	ix.tileIDs = append(ix.tileIDs, id)
+	ix.sparse[id] = int32(len(ix.tiles) - 1)
+	return &ix.tiles[len(ix.tiles)-1]
+}
+
+// classify returns the class of an entry in tile (tx,ty), given the cover
+// range [ax..bx]x[ay..by] of the entry's MBR. Classification is done in
+// tile space rather than by coordinate comparison so it is exactly
+// consistent with replication: the entry is in class C or D of a tile if
+// and only if it is also assigned to the previous tile in x, which is what
+// the duplicate-avoidance lemmas rely on.
+func classify(tx, ty, ax, ay int) Class {
+	if tx == ax {
+		if ty == ay {
+			return ClassA
+		}
+		return ClassB
+	}
+	if ty == ay {
+		return ClassC
+	}
+	return ClassD
+}
+
+// insert replicates e into every tile its MBR intersects, classifying it
+// per tile.
+func (ix *Index) insert(e spatial.Entry) {
+	if !e.Rect.Valid() {
+		// A NaN or inverted rectangle would be silently clamped into
+		// arbitrary tiles and then never found; fail loudly instead.
+		panic(fmt.Sprintf("core: inserting invalid rect %v (id %d)", e.Rect, e.ID))
+	}
+	ax, ay, bx, by := ix.g.CoverRect(e.Rect)
+	for ty := ay; ty <= by; ty++ {
+		for tx := ax; tx <= bx; tx++ {
+			t := ix.tileFor(tx, ty)
+			c := classify(tx, ty, ax, ay)
+			t.classes[c] = append(t.classes[c], e)
+			t.dec = nil // decomposed tables are now stale
+		}
+	}
+	ix.size++
+}
+
+// Insert adds one object to the index. If decomposed tables were built,
+// the affected tiles fall back to plain scans until BuildDecomposed is
+// called again (batch update strategy, as the paper suggests).
+func (ix *Index) Insert(e spatial.Entry) { ix.insert(e) }
+
+// Delete removes the object with the given id and MBR from the index. The
+// MBR must be the exact rectangle the object was inserted with, since it
+// determines the replication tiles. It reports whether the object was
+// found.
+func (ix *Index) Delete(id spatial.ID, r geom.Rect) bool {
+	ax, ay, bx, by := ix.g.CoverRect(r)
+	found := false
+	for ty := ay; ty <= by; ty++ {
+		for tx := ax; tx <= bx; tx++ {
+			t := ix.tileAt(tx, ty)
+			if t == nil {
+				continue
+			}
+			c := classify(tx, ty, ax, ay)
+			list := t.classes[c]
+			for i := range list {
+				if list[i].ID == id {
+					list[i] = list[len(list)-1]
+					t.classes[c] = list[:len(list)-1]
+					t.dec = nil
+					found = true
+					break
+				}
+			}
+		}
+	}
+	if found {
+		ix.size--
+	}
+	return found
+}
+
+// MemoryFootprint returns the approximate memory used by entry storage, in
+// bytes. Used by the tuning experiments (Figure 7).
+func (ix *Index) MemoryFootprint() int {
+	const entryBytes = 40 // 4 float64 + id + padding
+	total := 0
+	for i := range ix.tiles {
+		t := &ix.tiles[i]
+		total += t.size() * entryBytes
+		if t.dec != nil {
+			total += t.dec.footprint()
+		}
+	}
+	if ix.dense != nil {
+		total += 4 * len(ix.dense)
+	} else {
+		total += 16 * len(ix.sparse)
+	}
+	return total
+}
+
+// ReplicationFactor returns stored entries (including replicas) divided by
+// distinct objects; 1.0 means no replication.
+func (ix *Index) ReplicationFactor() float64 {
+	if ix.size == 0 {
+		return 0
+	}
+	stored := 0
+	for i := range ix.tiles {
+		stored += ix.tiles[i].size()
+	}
+	return float64(stored) / float64(ix.size)
+}
+
+// ClassCounts returns the total number of stored entries per class, used
+// by tests and the experiment reports.
+func (ix *Index) ClassCounts() [4]int {
+	var n [4]int
+	for i := range ix.tiles {
+		for c := 0; c < 4; c++ {
+			n[c] += len(ix.tiles[i].classes[c])
+		}
+	}
+	return n
+}

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/twolayer/twolayer/internal/geom"
+	"github.com/twolayer/twolayer/internal/spatial"
+)
+
+// FuzzWindow drives the whole query stack from fuzzer-chosen geometry:
+// dataset shape, grid granularity and query rectangle are all derived
+// from the fuzz input, and the result is compared against brute force.
+// Run with `go test -fuzz=FuzzWindow ./internal/core`.
+func FuzzWindow(f *testing.F) {
+	f.Add(int64(1), uint8(8), 0.25, 0.25, 0.5, 0.5)
+	f.Add(int64(2), uint8(1), -0.5, -0.5, 2.0, 2.0)
+	f.Add(int64(3), uint8(64), 0.5, 0.5, 0.5, 0.5)
+	f.Add(int64(4), uint8(13), 0.9, 0.1, 0.05, 0.9)
+	f.Fuzz(func(t *testing.T, seed int64, gridSize uint8, x, y, w, h float64) {
+		if gridSize == 0 {
+			gridSize = 1
+		}
+		// Reject degenerate fuzz coordinates; the index itself rejects
+		// invalid rects by contract.
+		if math.IsNaN(x) || math.IsNaN(y) || math.IsNaN(w) || math.IsNaN(h) ||
+			math.IsInf(x, 0) || math.IsInf(y, 0) || w < 0 || h < 0 ||
+			math.IsInf(x+w, 0) || math.IsInf(y+h, 0) {
+			t.Skip()
+		}
+		rnd := rand.New(rand.NewSource(seed))
+		d := spatial.NewDataset(randRects(rnd, 200, 0.2))
+		ix := Build(d, Options{NX: int(gridSize), NY: int(gridSize)})
+		dec := Build(d, Options{NX: int(gridSize), NY: int(gridSize), Decompose: true})
+		query := geom.Rect{MinX: x, MinY: y, MaxX: x + w, MaxY: y + h}
+
+		got := ix.WindowIDs(query, nil)
+		seen := make(map[spatial.ID]bool, len(got))
+		for _, id := range got {
+			if seen[id] {
+				t.Fatalf("duplicate result %d for %v", id, query)
+			}
+			seen[id] = true
+		}
+		want := spatial.BruteWindow(d.Entries, query)
+		if len(got) != len(want) {
+			t.Fatalf("query %v: got %d results, want %d", query, len(got), len(want))
+		}
+		for _, id := range want {
+			if !seen[id] {
+				t.Fatalf("query %v: missing %d", query, id)
+			}
+		}
+		// The decomposed variant must agree exactly.
+		if n := dec.WindowCount(query); n != len(want) {
+			t.Fatalf("query %v: decomposed found %d, want %d", query, n, len(want))
+		}
+		// And the disk circumscribing the query window must be a superset.
+		c := query.Center()
+		radius := c.Dist(geom.Point{X: query.MinX, Y: query.MinY})
+		if radius < 1e18 { // skip overflow-prone fuzz extremes
+			if nd := ix.DiskCount(c, radius); nd < len(want) {
+				t.Fatalf("circumscribed disk found %d < window's %d", nd, len(want))
+			}
+		}
+	})
+}

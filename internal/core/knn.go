@@ -1,0 +1,280 @@
+package core
+
+import (
+	"container/heap"
+	"math"
+
+	"github.com/twolayer/twolayer/internal/geom"
+	"github.com/twolayer/twolayer/internal/spatial"
+)
+
+// This file implements k-nearest-neighbor search over the two-layer grid,
+// one of the query types the paper names as future work for SOP indices
+// with secondary partitioning. The search expands square rings of tiles
+// around the query point and stops when the next ring cannot contain a
+// closer object than the current k-th candidate. Replicas are visited at
+// most once through an epoch-stamped seen table (dense object IDs make
+// this a plain array; no per-query allocation or hashing).
+
+// Neighbor is one kNN result.
+type Neighbor struct {
+	ID   spatial.ID
+	Dist float64 // Euclidean distance from the query point to the MBR
+}
+
+// neighborHeap is a max-heap on distance, holding the best k candidates.
+type neighborHeap []Neighbor
+
+func (h neighborHeap) Len() int           { return len(h) }
+func (h neighborHeap) Less(i, j int) bool { return h[i].Dist > h[j].Dist }
+func (h neighborHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *neighborHeap) Push(x any)        { *h = append(*h, x.(Neighbor)) }
+func (h *neighborHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// knnState is the reusable per-index scratch space for kNN queries. It is
+// lazily grown; the epoch stamp avoids clearing between queries.
+type knnState struct {
+	seen  []uint32
+	epoch uint32
+}
+
+// markSeen reports whether id was already visited this query, marking it.
+func (s *knnState) markSeen(id spatial.ID) bool {
+	if int(id) >= len(s.seen) {
+		grown := make([]uint32, int(id)*2+64)
+		copy(grown, s.seen)
+		s.seen = grown
+	}
+	if s.seen[id] == s.epoch {
+		return true
+	}
+	s.seen[id] = s.epoch
+	return false
+}
+
+// KNN returns the k objects whose MBRs are nearest to q, ordered by
+// ascending distance. Ties are broken arbitrarily. It allocates only the
+// result slice on the steady state; the seen table is owned by the index
+// and makes KNN unsafe for concurrent use (like updates and Stats).
+func (ix *Index) KNN(q geom.Point, k int) []Neighbor {
+	if k <= 0 || ix.size == 0 {
+		return nil
+	}
+	if ix.knn == nil {
+		ix.knn = &knnState{}
+	}
+	ix.knn.epoch++
+	if ix.knn.epoch == 0 { // stamp wrapped: reset table once
+		ix.knn.seen = nil
+		ix.knn.epoch = 1
+	}
+
+	best := make(neighborHeap, 0, k)
+	kth := math.Inf(1)
+
+	consider := func(t *tile) {
+		for c := ClassA; c <= ClassD; c++ {
+			for i := range t.classes[c] {
+				e := &t.classes[c][i]
+				if ix.knn.markSeen(e.ID) {
+					continue
+				}
+				d2 := e.Rect.DistSqToPoint(q)
+				if len(best) < k {
+					heap.Push(&best, Neighbor{ID: e.ID, Dist: d2})
+					if len(best) == k {
+						kth = best[0].Dist
+					}
+				} else if d2 < kth {
+					best[0] = Neighbor{ID: e.ID, Dist: d2}
+					heap.Fix(&best, 0)
+					kth = best[0].Dist
+				}
+			}
+		}
+	}
+
+	// Ring expansion around the tile containing q.
+	cx, cy := ix.g.CellOf(q)
+	maxRing := ix.g.NX
+	if ix.g.NY > maxRing {
+		maxRing = ix.g.NY
+	}
+	for ring := 0; ring <= maxRing; ring++ {
+		// Stop when even the nearest point of the ring is farther than
+		// the current k-th distance (and we already have k results).
+		if len(best) == k && ringDistSq(ix, q, cx, cy, ring) > kth {
+			break
+		}
+		ix.forEachRingTile(cx, cy, ring, func(t *tile) { consider(t) })
+	}
+
+	// Extract ascending and convert squared distances.
+	out := make([]Neighbor, len(best))
+	for i := len(best) - 1; i >= 0; i-- {
+		n := heap.Pop(&best).(Neighbor)
+		n.Dist = math.Sqrt(n.Dist)
+		out[i] = n
+	}
+	return out
+}
+
+// KNNExact returns the k objects whose exact geometries are nearest to q,
+// ascending by true geometric distance. MBR distances lower-bound exact
+// distances, so candidates are pruned by MBR before the geometry is
+// consulted; the ring-expansion stop criterion remains valid because tile
+// distance lower-bounds MBR distance lower-bounds exact distance. The
+// index must have been built over a Dataset.
+func (ix *Index) KNNExact(q geom.Point, k int) []Neighbor {
+	if ix.dataset == nil {
+		panic("core: KNNExact requires an index built over a Dataset")
+	}
+	if k <= 0 || ix.size == 0 {
+		return nil
+	}
+	if ix.knn == nil {
+		ix.knn = &knnState{}
+	}
+	ix.knn.epoch++
+	if ix.knn.epoch == 0 {
+		ix.knn.seen = nil
+		ix.knn.epoch = 1
+	}
+
+	best := make(neighborHeap, 0, k)
+	kth := math.Inf(1)
+
+	consider := func(t *tile) {
+		for c := ClassA; c <= ClassD; c++ {
+			for i := range t.classes[c] {
+				e := &t.classes[c][i]
+				if ix.knn.markSeen(e.ID) {
+					continue
+				}
+				if len(best) == k && e.Rect.DistSqToPoint(q) > kth {
+					continue // MBR lower bound prunes the geometry test
+				}
+				d2 := exactDistSq(ix.dataset.Geom(e.ID), q)
+				if len(best) < k {
+					heap.Push(&best, Neighbor{ID: e.ID, Dist: d2})
+					if len(best) == k {
+						kth = best[0].Dist
+					}
+				} else if d2 < kth {
+					best[0] = Neighbor{ID: e.ID, Dist: d2}
+					heap.Fix(&best, 0)
+					kth = best[0].Dist
+				}
+			}
+		}
+	}
+
+	cx, cy := ix.g.CellOf(q)
+	maxRing := ix.g.NX
+	if ix.g.NY > maxRing {
+		maxRing = ix.g.NY
+	}
+	for ring := 0; ring <= maxRing; ring++ {
+		if len(best) == k && ringDistSq(ix, q, cx, cy, ring) > kth {
+			break
+		}
+		ix.forEachRingTile(cx, cy, ring, func(t *tile) { consider(t) })
+	}
+
+	out := make([]Neighbor, len(best))
+	for i := len(best) - 1; i >= 0; i-- {
+		n := heap.Pop(&best).(Neighbor)
+		n.Dist = math.Sqrt(n.Dist)
+		out[i] = n
+	}
+	return out
+}
+
+// exactDistSq returns the squared distance from q to a geometry, using
+// the type-specific distance where available and a binary refinement of
+// IntersectsDisk otherwise.
+func exactDistSq(g geom.Geometry, q geom.Point) float64 {
+	switch t := g.(type) {
+	case *geom.LineString:
+		return t.DistSqToPoint(q)
+	case *geom.Polygon:
+		return t.DistSqToPoint(q)
+	case geom.RectGeometry:
+		return geom.Rect(t).DistSqToPoint(q)
+	case geom.PointGeometry:
+		return geom.Point(t).DistSq(q)
+	default:
+		// Generic fallback: the MBR distance lower-bounds and the
+		// max-corner distance upper-bounds the true distance; bisect
+		// IntersectsDisk between them.
+		mbr := g.MBR()
+		lo := mbr.DistToPoint(q)
+		hi := math.Sqrt(mbr.MaxDistSqToPoint(q))
+		for i := 0; i < 40 && hi-lo > 1e-12; i++ {
+			mid := (lo + hi) / 2
+			if g.IntersectsDisk(q, mid) {
+				hi = mid
+			} else {
+				lo = mid
+			}
+		}
+		return hi * hi
+	}
+}
+
+// ringDistSq returns the squared distance from q to the closest point of
+// ring r around tile (cx, cy): the band of tiles whose Chebyshev tile
+// distance from (cx, cy) equals r. Ring 0 contains q itself.
+func ringDistSq(ix *Index, q geom.Point, cx, cy, ring int) float64 {
+	if ring == 0 {
+		return 0
+	}
+	// The ring's inner boundary is the border of the (2r-1)x(2r-1) tile
+	// block centered at (cx, cy).
+	inner := geom.Rect{
+		MinX: ix.g.TileMin(cx-ring+1, cy-ring+1).X,
+		MinY: ix.g.TileMin(cx-ring+1, cy-ring+1).Y,
+		MaxX: ix.g.TileMin(cx+ring, cy+ring).X,
+		MaxY: ix.g.TileMin(cx+ring, cy+ring).Y,
+	}
+	// Distance from q to the outside of that block: if q is inside (the
+	// usual case), it is the distance to the block border.
+	dx := math.Min(q.X-inner.MinX, inner.MaxX-q.X)
+	dy := math.Min(q.Y-inner.MinY, inner.MaxY-q.Y)
+	d := math.Min(dx, dy)
+	if d < 0 {
+		return 0 // q outside the block: the ring may touch q
+	}
+	return d * d
+}
+
+// forEachRingTile visits the non-empty tiles at Chebyshev distance ring
+// from (cx, cy), clamped to the grid.
+func (ix *Index) forEachRingTile(cx, cy, ring int, fn func(*tile)) {
+	visit := func(tx, ty int) {
+		if tx < 0 || ty < 0 || tx >= ix.g.NX || ty >= ix.g.NY {
+			return
+		}
+		if t := ix.tileAt(tx, ty); t != nil {
+			fn(t)
+		}
+	}
+	if ring == 0 {
+		visit(cx, cy)
+		return
+	}
+	for tx := cx - ring; tx <= cx+ring; tx++ {
+		visit(tx, cy-ring)
+		visit(tx, cy+ring)
+	}
+	for ty := cy - ring + 1; ty <= cy+ring-1; ty++ {
+		visit(cx-ring, ty)
+		visit(cx+ring, ty)
+	}
+}

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"github.com/twolayer/twolayer/internal/geom"
+	"github.com/twolayer/twolayer/internal/spatial"
+)
+
+// TestWindowParallelMatchesSerial across thread counts and window sizes.
+func TestWindowParallelMatchesSerial(t *testing.T) {
+	rnd := rand.New(rand.NewSource(211))
+	ix, _ := buildRandom(rnd, 2000, 0.05, Options{NX: 32, NY: 32})
+	for q := 0; q < 30; q++ {
+		w := randWindow(rnd, 0.5)
+		want := sortIDs(ix.WindowIDs(w, nil))
+		for _, threads := range []int{1, 2, 8, 0} {
+			var mu sync.Mutex
+			var got []spatial.ID
+			ix.WindowParallel(w, threads, func(e spatial.Entry) {
+				mu.Lock()
+				got = append(got, e.ID)
+				mu.Unlock()
+			})
+			sameIDs(t, got, want, "parallel window")
+			if n := ix.WindowParallelCount(w, threads); n != len(want) {
+				t.Fatalf("parallel count %d, want %d", n, len(want))
+			}
+		}
+	}
+}
+
+// TestJoinParallelMatchesSerial.
+func TestJoinParallelMatchesSerial(t *testing.T) {
+	rnd := rand.New(rand.NewSource(212))
+	space := geom.Rect{MaxX: 1.2, MaxY: 1.2}
+	a := Build(spatial.NewDataset(randRects(rnd, 500, 0.1)), Options{NX: 16, NY: 16, Space: space})
+	b := Build(spatial.NewDataset(randRects(rnd, 500, 0.1)), Options{NX: 16, NY: 16, Space: space})
+	want := a.JoinCount(b)
+	for _, threads := range []int{1, 3, 0} {
+		if got := a.JoinParallelCount(b, threads); got != want {
+			t.Fatalf("threads=%d: %d pairs, want %d", threads, got, want)
+		}
+	}
+	// Pair-level equality, not just counts.
+	type pair [2]spatial.ID
+	serial := map[pair]bool{}
+	a.Join(b, func(r, s spatial.Entry) { serial[pair{r.ID, s.ID}] = true })
+	var mu sync.Mutex
+	parallel := map[pair]bool{}
+	a.JoinParallel(b, 4, func(r, s spatial.Entry) {
+		mu.Lock()
+		parallel[pair{r.ID, s.ID}] = true
+		mu.Unlock()
+	})
+	if len(serial) != len(parallel) {
+		t.Fatalf("pair sets differ: %d vs %d", len(serial), len(parallel))
+	}
+	for p := range serial {
+		if !parallel[p] {
+			t.Fatalf("missing pair %v", p)
+		}
+	}
+}
+
+// TestEstimateWindow: exact on uniform full-tile windows, sane bounds
+// elsewhere.
+func TestEstimateWindow(t *testing.T) {
+	rnd := rand.New(rand.NewSource(213))
+	// Point-like objects, uniform: the estimator should be good.
+	rects := make([]geom.Rect, 10000)
+	for i := range rects {
+		x, y := rnd.Float64(), rnd.Float64()
+		rects[i] = geom.Rect{MinX: x, MinY: y, MaxX: x, MaxY: y}
+	}
+	ix := Build(spatial.NewDataset(rects), Options{NX: 16, NY: 16, Space: geom.Rect{MaxX: 1, MaxY: 1}})
+
+	full := geom.Rect{MaxX: 1, MaxY: 1}
+	if est := ix.EstimateWindow(full); math.Abs(est-10000) > 1 {
+		t.Errorf("full-space estimate %v, want 10000", est)
+	}
+	if est := ix.EstimateWindow(geom.Rect{MinX: 5, MinY: 5, MaxX: 6, MaxY: 6}); est != 0 {
+		t.Errorf("empty-region estimate %v", est)
+	}
+	// Random windows: estimate within 3x of truth for uniform points
+	// (loose, but catches unit errors).
+	for q := 0; q < 30; q++ {
+		x, y := rnd.Float64()*0.7, rnd.Float64()*0.7
+		w := geom.Rect{MinX: x, MinY: y, MaxX: x + 0.3, MaxY: y + 0.3}
+		truth := float64(ix.WindowCount(w))
+		est := ix.EstimateWindow(w)
+		if truth > 100 && (est < truth/3 || est > truth*3) {
+			t.Fatalf("estimate %v vs truth %v for %v", est, truth, w)
+		}
+	}
+	if ix.EstimateWindow(geom.Rect{MinX: 1, MaxX: 0, MaxY: 1}) != 0 {
+		t.Error("invalid window estimate should be 0")
+	}
+}
+
+// TestWindowUntilAndIntersects.
+func TestWindowUntilAndIntersects(t *testing.T) {
+	rnd := rand.New(rand.NewSource(214))
+	ix, d := buildRandom(rnd, 1000, 0.05, Options{NX: 16, NY: 16})
+
+	// Stop after 5 results.
+	n := 0
+	completed := ix.WindowUntil(geom.Rect{MaxX: 1, MaxY: 1}, func(spatial.Entry) bool {
+		n++
+		return n < 5
+	})
+	if completed || n != 5 {
+		t.Fatalf("completed=%v n=%d", completed, n)
+	}
+	// Running to completion visits everything.
+	n = 0
+	completed = ix.WindowUntil(geom.Rect{MinX: -1, MinY: -1, MaxX: 2, MaxY: 2}, func(spatial.Entry) bool {
+		n++
+		return true
+	})
+	if !completed || n != d.Len() {
+		t.Fatalf("completed=%v n=%d want %d", completed, n, d.Len())
+	}
+
+	if !ix.Intersects(geom.Rect{MaxX: 1, MaxY: 1}) {
+		t.Error("Intersects missed data")
+	}
+	if ix.Intersects(geom.Rect{MinX: 5, MinY: 5, MaxX: 6, MaxY: 6}) {
+		t.Error("Intersects false positive")
+	}
+}

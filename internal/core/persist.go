@@ -1,0 +1,205 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"github.com/twolayer/twolayer/internal/geom"
+	"github.com/twolayer/twolayer/internal/spatial"
+)
+
+// Index persistence: a compact binary snapshot of the built structure so
+// a static index can be memory-mapped-in-spirit (read back) without
+// re-partitioning the data. The format stores the grid geometry and the
+// per-tile class partitions; decomposed tables are derived data and are
+// rebuilt on load when the index was saved in 2-layer+ mode. Exact
+// geometries are not part of the snapshot (persist them separately, e.g.
+// as WKT via package dataio) — a loaded index supports all MBR
+// (filtering) queries.
+//
+// Layout (little endian):
+//
+//	magic "TL2I" | version u32
+//	nx u32 | ny u32 | space 4xf64 | flags u32 | size u64
+//	tileCount u64
+//	per tile: tileID u32 | 4x class length u32 | entries (id u32, 4xf64)
+
+const (
+	persistMagic   = "TL2I"
+	persistVersion = 1
+
+	flagDecompose = 1 << 0
+)
+
+// WriteTo serializes the index structure. It returns the number of bytes
+// written.
+func (ix *Index) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	cw := &countWriter{w: bw}
+
+	write := func(v any) error { return binary.Write(cw, binary.LittleEndian, v) }
+
+	if _, err := cw.Write([]byte(persistMagic)); err != nil {
+		return cw.n, err
+	}
+	if err := write(uint32(persistVersion)); err != nil {
+		return cw.n, err
+	}
+	sp := ix.opts.Space
+	hdr := []any{
+		uint32(ix.g.NX), uint32(ix.g.NY),
+		sp.MinX, sp.MinY, sp.MaxX, sp.MaxY,
+		ix.flags(), uint64(ix.size), uint64(len(ix.tiles)),
+	}
+	for _, v := range hdr {
+		if err := write(v); err != nil {
+			return cw.n, err
+		}
+	}
+	for slot := range ix.tiles {
+		t := &ix.tiles[slot]
+		if err := write(uint32(ix.tileIDs[slot])); err != nil {
+			return cw.n, err
+		}
+		for c := 0; c < 4; c++ {
+			if err := write(uint32(len(t.classes[c]))); err != nil {
+				return cw.n, err
+			}
+		}
+		for c := 0; c < 4; c++ {
+			for i := range t.classes[c] {
+				e := &t.classes[c][i]
+				rec := []any{e.ID, e.Rect.MinX, e.Rect.MinY, e.Rect.MaxX, e.Rect.MaxY}
+				for _, v := range rec {
+					if err := write(v); err != nil {
+						return cw.n, err
+					}
+				}
+			}
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return cw.n, err
+	}
+	return cw.n, nil
+}
+
+func (ix *Index) flags() uint32 {
+	var f uint32
+	if ix.opts.Decompose {
+		f |= flagDecompose
+	}
+	return f
+}
+
+// countWriter tracks bytes written.
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// Load reads an index snapshot written by WriteTo.
+func Load(r io.Reader) (*Index, error) {
+	br := bufio.NewReader(r)
+	read := func(v any) error { return binary.Read(br, binary.LittleEndian, v) }
+
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("core: reading snapshot magic: %w", err)
+	}
+	if string(magic) != persistMagic {
+		return nil, fmt.Errorf("core: not an index snapshot (magic %q)", magic)
+	}
+	var version uint32
+	if err := read(&version); err != nil {
+		return nil, err
+	}
+	if version != persistVersion {
+		return nil, fmt.Errorf("core: unsupported snapshot version %d", version)
+	}
+
+	var nx, ny, flags uint32
+	var size, tileCount uint64
+	var space geom.Rect
+	for _, v := range []any{&nx, &ny, &space.MinX, &space.MinY, &space.MaxX, &space.MaxY,
+		&flags, &size, &tileCount} {
+		if err := read(v); err != nil {
+			return nil, fmt.Errorf("core: reading snapshot header: %w", err)
+		}
+	}
+	if nx == 0 || ny == 0 || nx > 1<<20 || ny > 1<<20 {
+		return nil, fmt.Errorf("core: implausible grid %dx%d in snapshot", nx, ny)
+	}
+	if !space.Valid() || space.Width() <= 0 || space.Height() <= 0 {
+		return nil, fmt.Errorf("core: invalid space %v in snapshot", space)
+	}
+	if tileCount > uint64(nx)*uint64(ny) {
+		return nil, fmt.Errorf("core: %d tiles for a %dx%d grid", tileCount, nx, ny)
+	}
+
+	ix := New(Options{NX: int(nx), NY: int(ny), Space: space,
+		Decompose: flags&flagDecompose != 0})
+	ix.size = int(size)
+	ix.tiles = make([]tile, tileCount)
+	ix.tileIDs = make([]int32, tileCount)
+
+	maxTileID := uint32(nx) * uint32(ny)
+	for slot := uint64(0); slot < tileCount; slot++ {
+		var tileID uint32
+		if err := read(&tileID); err != nil {
+			return nil, fmt.Errorf("core: reading tile %d: %w", slot, err)
+		}
+		if tileID >= maxTileID {
+			return nil, fmt.Errorf("core: tile ID %d out of range", tileID)
+		}
+		ix.tileIDs[slot] = int32(tileID)
+		if ix.dense != nil {
+			ix.dense[tileID] = int32(slot)
+		} else {
+			ix.sparse[int32(tileID)] = int32(slot)
+		}
+		var lens [4]uint32
+		total := uint64(0)
+		for c := 0; c < 4; c++ {
+			if err := read(&lens[c]); err != nil {
+				return nil, err
+			}
+			total += uint64(lens[c])
+		}
+		if total > size*4+4 {
+			return nil, fmt.Errorf("core: tile %d claims %d entries for %d objects", slot, total, size)
+		}
+		t := &ix.tiles[slot]
+		for c := 0; c < 4; c++ {
+			if lens[c] == 0 {
+				continue
+			}
+			entries := make([]spatial.Entry, lens[c])
+			for i := range entries {
+				e := &entries[i]
+				for _, v := range []any{&e.ID, &e.Rect.MinX, &e.Rect.MinY, &e.Rect.MaxX, &e.Rect.MaxY} {
+					if err := read(v); err != nil {
+						return nil, fmt.Errorf("core: reading tile %d entries: %w", slot, err)
+					}
+				}
+				if !e.Rect.Valid() || math.IsInf(e.Rect.MinX, 0) {
+					return nil, fmt.Errorf("core: corrupt entry rect %v", e.Rect)
+				}
+			}
+			t.classes[c] = entries
+		}
+	}
+	if ix.opts.Decompose {
+		ix.BuildDecomposed()
+	}
+	return ix, nil
+}

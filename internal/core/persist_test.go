@@ -1,0 +1,98 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"github.com/twolayer/twolayer/internal/spatial"
+)
+
+// TestPersistRoundTrip: a loaded snapshot answers every query identically
+// to the original, for plain, decomposed and sparse-directory indices.
+func TestPersistRoundTrip(t *testing.T) {
+	rnd := rand.New(rand.NewSource(181))
+	for _, opts := range []Options{
+		{NX: 16, NY: 16},
+		{NX: 16, NY: 16, Decompose: true},
+		{NX: 16, NY: 16, SparseDirectory: true},
+		{NX: 1, NY: 1},
+	} {
+		orig, _ := buildRandom(rnd, 800, 0.1, opts)
+		var buf bytes.Buffer
+		n, err := orig.WriteTo(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != int64(buf.Len()) {
+			t.Fatalf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+		}
+		loaded, err := Load(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if loaded.Len() != orig.Len() {
+			t.Fatalf("Len %d != %d", loaded.Len(), orig.Len())
+		}
+		if loaded.Decomposed() != orig.Decomposed() {
+			t.Fatal("decompose flag lost")
+		}
+		for q := 0; q < 60; q++ {
+			w := randWindow(rnd, 0.3)
+			sameIDs(t, loaded.WindowIDs(w, nil), orig.WindowIDs(w, nil), "loaded window")
+		}
+		// The loaded index stays updatable.
+		loaded.Insert(spatial.Entry{Rect: randRects(rnd, 1, 0.05)[0], ID: 9999})
+		if loaded.Len() != orig.Len()+1 {
+			t.Fatal("insert after load failed")
+		}
+	}
+}
+
+// TestPersistEmptyIndex round-trips an index with no objects.
+func TestPersistEmptyIndex(t *testing.T) {
+	orig := New(Options{NX: 8, NY: 8})
+	var buf bytes.Buffer
+	if _, err := orig.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != 0 {
+		t.Fatalf("Len = %d", loaded.Len())
+	}
+}
+
+// TestLoadRejectsCorruption: truncations and corrupt headers error out
+// rather than producing a broken index or panicking.
+func TestLoadRejectsCorruption(t *testing.T) {
+	rnd := rand.New(rand.NewSource(182))
+	orig, _ := buildRandom(rnd, 100, 0.1, Options{NX: 8, NY: 8})
+	var buf bytes.Buffer
+	if _, err := orig.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	cases := map[string][]byte{
+		"empty":       {},
+		"bad magic":   append([]byte("XXXX"), good[4:]...),
+		"bad version": append(append([]byte{}, good[:4]...), 0xFF, 0xFF, 0xFF, 0xFF),
+		"truncated":   good[:len(good)/2],
+		"header only": good[:16],
+	}
+	for name, data := range cases {
+		if _, err := Load(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+
+	// Corrupt the grid dimensions in place.
+	bad := append([]byte{}, good...)
+	bad[8], bad[9], bad[10], bad[11] = 0, 0, 0, 0 // nx = 0
+	if _, err := Load(bytes.NewReader(bad)); err == nil {
+		t.Error("nx=0: expected error")
+	}
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/twolayer/twolayer/internal/geom"
+	"github.com/twolayer/twolayer/internal/spatial"
+)
+
+// TestQuickWindowEquivalence: for random datasets, grids and windows, the
+// two-layer index (plain and decomposed) equals brute force with no
+// duplicates. This is the library's master property.
+func TestQuickWindowEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		rnd := rand.New(rand.NewSource(seed))
+		n := 20 + rnd.Intn(200)
+		nx := 1 + rnd.Intn(24)
+		ny := 1 + rnd.Intn(24)
+		maxSide := []float64{0.01, 0.1, 0.5}[rnd.Intn(3)]
+		rects := randRects(rnd, n, maxSide)
+		d := spatial.NewDataset(rects)
+		opts := Options{NX: nx, NY: ny, Decompose: rnd.Intn(2) == 1}
+		if rnd.Intn(2) == 1 {
+			opts.SparseDirectory = true
+		}
+		ix := Build(d, opts)
+		for q := 0; q < 10; q++ {
+			w := randWindow(rnd, 0.5)
+			got := sortIDs(ix.WindowIDs(w, nil))
+			want := sortIDs(spatial.BruteWindow(d.Entries, w))
+			if len(got) != len(want) {
+				return false
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					return false
+				}
+			}
+			seen := make(map[spatial.ID]bool)
+			for _, id := range got {
+				if seen[id] {
+					return false
+				}
+				seen[id] = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickDiskEquivalence: the same property for disk queries.
+func TestQuickDiskEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		rnd := rand.New(rand.NewSource(seed))
+		n := 20 + rnd.Intn(200)
+		nx := 1 + rnd.Intn(24)
+		ny := 1 + rnd.Intn(24)
+		maxSide := []float64{0.01, 0.1, 0.5}[rnd.Intn(3)]
+		d := spatial.NewDataset(randRects(rnd, n, maxSide))
+		ix := Build(d, Options{NX: nx, NY: ny})
+		for q := 0; q < 10; q++ {
+			c := geom.Point{X: rnd.Float64()*1.4 - 0.2, Y: rnd.Float64()*1.4 - 0.2}
+			radius := rnd.Float64() * 0.5
+			got := sortIDs(ix.DiskIDs(c, radius, nil))
+			want := sortIDs(spatial.BruteDisk(d.Entries, c, radius))
+			if len(got) != len(want) {
+				return false
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickInsertEqualsBuild: inserting in random order equals bulk build.
+func TestQuickInsertEqualsBuild(t *testing.T) {
+	f := func(seed int64) bool {
+		rnd := rand.New(rand.NewSource(seed))
+		n := 10 + rnd.Intn(100)
+		rects := randRects(rnd, n, 0.2)
+		d := spatial.NewDataset(rects)
+		space := d.MBR()
+		bulk := Build(d, Options{NX: 8, NY: 8, Space: space})
+		incr := New(Options{NX: 8, NY: 8, Space: space})
+		perm := rnd.Perm(n)
+		for _, i := range perm {
+			incr.Insert(spatial.Entry{Rect: rects[i], ID: spatial.ID(i)})
+		}
+		for q := 0; q < 5; q++ {
+			w := randWindow(rnd, 0.4)
+			a := sortIDs(bulk.WindowIDs(w, nil))
+			b := sortIDs(incr.WindowIDs(w, nil))
+			if len(a) != len(b) {
+				return false
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickClassInvariant: replication-block classification is total and
+// consistent — class A in the block's min tile, B below it, C right of
+// it, D in the interior.
+func TestQuickClassInvariant(t *testing.T) {
+	f := func(tx, ty, ax, ay uint8) bool {
+		// Interpret as tile coordinates with tile >= block min.
+		bx, by := int(tx)+int(ax), int(ty)+int(ay)
+		c := classify(bx, by, int(ax), int(ay))
+		switch {
+		case bx == int(ax) && by == int(ay):
+			return c == ClassA
+		case bx == int(ax):
+			return c == ClassB
+		case by == int(ay):
+			return c == ClassC
+		default:
+			return c == ClassD
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

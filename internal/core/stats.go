@@ -1,0 +1,56 @@
+package core
+
+// Stats collects instrumentation counters during query evaluation. Attach
+// a Stats to Index.Stats to enable counting; queries then take a slower
+// instrumented path and must not run concurrently. Counters let tests
+// assert the paper's analytical claims (e.g., Corollary 1: at most two
+// comparisons per rectangle in relevant tiles of a multi-tile window
+// query) and power the Figure 6 work breakdowns.
+type Stats struct {
+	// TilesVisited counts tiles examined across queries.
+	TilesVisited int64
+	// PartitionsScanned counts secondary partitions (tile classes) read.
+	PartitionsScanned int64
+	// EntriesScanned counts entries inspected in scanned partitions.
+	EntriesScanned int64
+	// Comparisons counts coordinate comparisons executed during the
+	// filtering step (the quantity Lemmas 3-4 minimize).
+	Comparisons int64
+	// Results counts entries reported by the filtering step.
+	Results int64
+	// DuplicatesAvoided counts entries skipped wholesale because their
+	// class was disregarded by Lemmas 1-2.
+	DuplicatesAvoided int64
+	// BinarySearches counts binary searches on decomposed tables.
+	BinarySearches int64
+
+	// Refinement-step counters (Section V).
+	//
+	// SecondaryFilterTests counts Lemma 5 coverage tests performed;
+	// SecondaryFilterHits counts candidates accepted without refinement;
+	// RefinementTests counts exact geometry tests executed;
+	// DistanceComputations counts point distance evaluations in disk
+	// queries.
+	SecondaryFilterTests int64
+	SecondaryFilterHits  int64
+	RefinementTests      int64
+	DistanceComputations int64
+}
+
+// Reset zeroes all counters.
+func (s *Stats) Reset() { *s = Stats{} }
+
+// Add accumulates o into s.
+func (s *Stats) Add(o *Stats) {
+	s.TilesVisited += o.TilesVisited
+	s.PartitionsScanned += o.PartitionsScanned
+	s.EntriesScanned += o.EntriesScanned
+	s.Comparisons += o.Comparisons
+	s.Results += o.Results
+	s.DuplicatesAvoided += o.DuplicatesAvoided
+	s.BinarySearches += o.BinarySearches
+	s.SecondaryFilterTests += o.SecondaryFilterTests
+	s.SecondaryFilterHits += o.SecondaryFilterHits
+	s.RefinementTests += o.RefinementTests
+	s.DistanceComputations += o.DistanceComputations
+}

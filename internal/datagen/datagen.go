@@ -1,0 +1,141 @@
+// Package datagen generates the workloads of the paper's evaluation:
+//
+//   - synthetic rectangle datasets with uniform or zipfian spatial
+//     distribution, fixed object area and aspect ratio in [0.25, 4]
+//     (Table IV);
+//   - "TIGER-like" datasets emulating the real ROADS, EDGES and TIGER
+//     collections (Table III): clustered spatial skew, per-dataset average
+//     MBR extents, and exact linestring/polygon geometries for the
+//     refinement experiments;
+//   - window and disk query workloads that follow the data distribution
+//     (queries always land on populated regions, as in the paper).
+//
+// All generators are deterministic for a given seed.
+package datagen
+
+import (
+	"math"
+	"math/rand"
+
+	"github.com/twolayer/twolayer/internal/geom"
+	"github.com/twolayer/twolayer/internal/spatial"
+)
+
+// Distribution selects the spatial distribution of synthetic data.
+type Distribution int
+
+const (
+	// Uniform places object centers uniformly in the unit square.
+	Uniform Distribution = iota
+	// Zipf skews both coordinates with a zipfian (power-law) density, the
+	// paper's skewed alternative (a = 1).
+	Zipf
+)
+
+// String implements fmt.Stringer.
+func (d Distribution) String() string {
+	if d == Zipf {
+		return "zipfian"
+	}
+	return "uniform"
+}
+
+// Spec describes a synthetic rectangle dataset (Table IV).
+type Spec struct {
+	// N is the cardinality.
+	N int
+	// Area is the exact area of every rectangle; 0 generates degenerate
+	// (point) rectangles, the paper's 10^-inf case.
+	Area float64
+	// Dist is the spatial distribution of object centers.
+	Dist Distribution
+	// ZipfAlpha is the zipf exponent (default 1, the paper's a = 1).
+	ZipfAlpha float64
+	// Seed drives the generator.
+	Seed int64
+}
+
+// zipfCoord draws a coordinate in (0,1] with density proportional to
+// x^-alpha, truncated at xmin (inverse CDF sampling).
+func zipfCoord(rnd *rand.Rand, alpha float64) float64 {
+	const xmin = 1e-4
+	u := rnd.Float64()
+	if alpha == 1 {
+		// CDF(x) = ln(x/xmin)/ln(1/xmin)
+		return xmin * math.Pow(1/xmin, u)
+	}
+	// General truncated power law on [xmin, 1].
+	a := 1 - alpha
+	lo := math.Pow(xmin, a)
+	return math.Pow(lo+u*(1-lo), 1/a)
+}
+
+// Rects generates the synthetic dataset described by spec.
+func Rects(spec Spec) []geom.Rect {
+	rnd := rand.New(rand.NewSource(spec.Seed))
+	alpha := spec.ZipfAlpha
+	if alpha == 0 {
+		alpha = 1
+	}
+	out := make([]geom.Rect, spec.N)
+	for i := range out {
+		var cx, cy float64
+		if spec.Dist == Zipf {
+			cx, cy = zipfCoord(rnd, alpha), zipfCoord(rnd, alpha)
+		} else {
+			cx, cy = rnd.Float64(), rnd.Float64()
+		}
+		w, h := rectSides(rnd, spec.Area)
+		out[i] = clampRect(geom.Rect{
+			MinX: cx - w/2, MinY: cy - h/2,
+			MaxX: cx + w/2, MaxY: cy + h/2,
+		})
+	}
+	return out
+}
+
+// rectSides draws width and height with the given exact area and a random
+// width-to-height ratio in [0.25, 4] (the paper's constraint against
+// unnaturally narrow rectangles).
+func rectSides(rnd *rand.Rand, area float64) (w, h float64) {
+	if area <= 0 {
+		return 0, 0
+	}
+	ratio := 0.25 + rnd.Float64()*3.75
+	w = math.Sqrt(area * ratio)
+	h = area / w
+	return w, h
+}
+
+// clampRect keeps a rectangle inside the unit square, preserving extent
+// where possible by shifting.
+func clampRect(r geom.Rect) geom.Rect {
+	if r.MinX < 0 {
+		r.MaxX -= r.MinX
+		r.MinX = 0
+	}
+	if r.MinY < 0 {
+		r.MaxY -= r.MinY
+		r.MinY = 0
+	}
+	if r.MaxX > 1 {
+		r.MinX -= r.MaxX - 1
+		r.MaxX = 1
+	}
+	if r.MaxY > 1 {
+		r.MinY -= r.MaxY - 1
+		r.MaxY = 1
+	}
+	if r.MinX < 0 {
+		r.MinX = 0
+	}
+	if r.MinY < 0 {
+		r.MinY = 0
+	}
+	return r
+}
+
+// Dataset builds a spatial.Dataset from a Spec.
+func Dataset(spec Spec) *spatial.Dataset {
+	return spatial.NewDataset(Rects(spec))
+}

@@ -1,0 +1,200 @@
+package datagen
+
+import (
+	"math"
+	"testing"
+
+	"github.com/twolayer/twolayer/internal/geom"
+)
+
+func TestRectsBasicProperties(t *testing.T) {
+	for _, dist := range []Distribution{Uniform, Zipf} {
+		spec := Spec{N: 2000, Area: 1e-6, Dist: dist, Seed: 1}
+		rects := Rects(spec)
+		if len(rects) != spec.N {
+			t.Fatalf("%v: got %d rects", dist, len(rects))
+		}
+		unit := geom.Rect{MaxX: 1, MaxY: 1}
+		for i, r := range rects {
+			if !r.Valid() {
+				t.Fatalf("%v: rect %d invalid: %v", dist, i, r)
+			}
+			if !unit.Contains(r) {
+				t.Fatalf("%v: rect %d outside unit square: %v", dist, i, r)
+			}
+			if a := r.Area(); math.Abs(a-spec.Area)/spec.Area > 1e-9 {
+				t.Fatalf("%v: rect %d area %g, want %g", dist, i, a, spec.Area)
+			}
+			// Aspect ratio within [0.25, 4].
+			ratio := r.Width() / r.Height()
+			if ratio < 0.25-1e-9 || ratio > 4+1e-9 {
+				t.Fatalf("%v: rect %d aspect %g out of [0.25,4]", dist, i, ratio)
+			}
+		}
+	}
+}
+
+func TestRectsDeterministic(t *testing.T) {
+	a := Rects(Spec{N: 100, Area: 1e-8, Seed: 7})
+	b := Rects(Spec{N: 100, Area: 1e-8, Seed: 7})
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must give same data")
+		}
+	}
+	c := Rects(Spec{N: 100, Area: 1e-8, Seed: 8})
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds gave identical data")
+	}
+}
+
+func TestPointRects(t *testing.T) {
+	rects := Rects(Spec{N: 100, Area: 0, Seed: 3})
+	for _, r := range rects {
+		if r.Width() != 0 || r.Height() != 0 {
+			t.Fatalf("area 0 must generate points, got %v", r)
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	rects := Rects(Spec{N: 10000, Area: 0, Dist: Zipf, Seed: 5})
+	// Zipfian coordinates concentrate near the origin: far more mass in
+	// the first decile than the last.
+	lo, hi := 0, 0
+	for _, r := range rects {
+		if r.MinX < 0.1 {
+			lo++
+		}
+		if r.MinX > 0.9 {
+			hi++
+		}
+	}
+	if lo <= hi*3 {
+		t.Errorf("zipf skew missing: %d low vs %d high", lo, hi)
+	}
+	uni := Rects(Spec{N: 10000, Area: 0, Dist: Uniform, Seed: 5})
+	lo = 0
+	for _, r := range uni {
+		if r.MinX < 0.1 {
+			lo++
+		}
+	}
+	if lo < 800 || lo > 1200 {
+		t.Errorf("uniform distribution skewed: %d in first decile", lo)
+	}
+}
+
+func TestRealLikeDatasets(t *testing.T) {
+	for _, kind := range []RealLike{Roads, Edges, Tiger} {
+		d := RealLikeDataset(kind, 5000, 11)
+		if err := d.Validate(); err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		s := Stats(d)
+		if s.Cardinality != 5000 {
+			t.Fatalf("%v: cardinality %d", kind, s.Cardinality)
+		}
+		wantX, wantY := kind.AvgExtent()
+		// Exponential extents: the sample mean should be within 20% of
+		// the Table III target at n=5000 (clamping shrinks it slightly).
+		if s.AvgXExtent < 0.7*wantX || s.AvgXExtent > 1.3*wantX {
+			t.Errorf("%v: avg x extent %g, want ~%g", kind, s.AvgXExtent, wantX)
+		}
+		if s.AvgYExtent < 0.7*wantY || s.AvgYExtent > 1.3*wantY {
+			t.Errorf("%v: avg y extent %g, want ~%g", kind, s.AvgYExtent, wantY)
+		}
+		switch kind {
+		case Roads:
+			if s.Polygons != 0 || s.Linestrings != 5000 {
+				t.Errorf("ROADS mix wrong: %+v", s)
+			}
+		case Edges:
+			if s.Linestrings != 0 || s.Polygons != 5000 {
+				t.Errorf("EDGES mix wrong: %+v", s)
+			}
+		case Tiger:
+			if s.Linestrings == 0 || s.Polygons == 0 {
+				t.Errorf("TIGER mix wrong: %+v", s)
+			}
+		}
+	}
+}
+
+func TestPaperConstants(t *testing.T) {
+	if Roads.PaperCardinality() != 20_000_000 || Edges.PaperCardinality() != 70_000_000 ||
+		Tiger.PaperCardinality() != 98_000_000 {
+		t.Error("paper cardinalities wrong")
+	}
+	if Roads.String() != "ROADS" || Edges.String() != "EDGES" || Tiger.String() != "TIGER" ||
+		RealLike(9).String() != "real(?)" {
+		t.Error("RealLike.String wrong")
+	}
+	if Uniform.String() != "uniform" || Zipf.String() != "zipfian" {
+		t.Error("Distribution.String wrong")
+	}
+}
+
+func TestWindows(t *testing.T) {
+	d := Dataset(Spec{N: 1000, Area: 1e-6, Seed: 2})
+	qs := Windows(d, QuerySpec{N: 200, RelExtent: 0.001, Seed: 3})
+	if len(qs) != 200 {
+		t.Fatalf("got %d queries", len(qs))
+	}
+	for i, w := range qs {
+		if !w.Valid() {
+			t.Fatalf("query %d invalid", i)
+		}
+		// Relative extent e means area e^2, aspect in [0.5, 2].
+		if a := w.Area(); math.Abs(a-1e-6)/1e-6 > 1e-9 {
+			t.Fatalf("query %d area %g, want 1e-6", i, a)
+		}
+		if ratio := w.Width() / w.Height(); ratio < 0.5-1e-9 || ratio > 2+1e-9 {
+			t.Fatalf("query %d aspect %g out of [0.5,2]", i, ratio)
+		}
+	}
+	// Queries centered on data: nearly all should be non-empty.
+	nonEmpty := 0
+	for _, w := range qs {
+		for _, e := range d.Entries {
+			if e.Rect.Intersects(w) {
+				nonEmpty++
+				break
+			}
+		}
+	}
+	if nonEmpty < 190 {
+		t.Errorf("only %d/200 queries hit data", nonEmpty)
+	}
+}
+
+func TestDisks(t *testing.T) {
+	d := Dataset(Spec{N: 500, Area: 1e-6, Seed: 2})
+	qs := Disks(d, QuerySpec{N: 100, RelExtent: 0.001, Seed: 3})
+	wantR := 0.001 / math.Sqrt(math.Pi)
+	for i, q := range qs {
+		if math.Abs(q.Radius-wantR) > 1e-12 {
+			t.Fatalf("disk %d radius %g, want %g", i, q.Radius, wantR)
+		}
+	}
+}
+
+func TestQueryCenterEmptyDataset(t *testing.T) {
+	qs := Windows(nil, QuerySpec{N: 5, RelExtent: 0.01, Seed: 1})
+	if len(qs) != 5 {
+		t.Fatal("empty dataset should still produce queries")
+	}
+}
+
+func TestStatsEmpty(t *testing.T) {
+	s := Stats(Dataset(Spec{N: 0, Seed: 1}))
+	if s.Cardinality != 0 || s.AvgXExtent != 0 {
+		t.Errorf("empty stats: %+v", s)
+	}
+}

@@ -1,0 +1,218 @@
+package datagen
+
+import (
+	"math"
+	"math/rand"
+
+	"github.com/twolayer/twolayer/internal/geom"
+	"github.com/twolayer/twolayer/internal/spatial"
+)
+
+// RealLike identifies one of the paper's real datasets (Table III). The
+// original TIGER 2015 collections are not redistributable here, so the
+// generators below emulate their three load-bearing properties: the
+// geometry type mix, the average MBR extent per axis, and the clustered
+// (population-like) spatial skew. Cardinalities are parameters: the paper
+// uses 20M/70M/98M, experiments here default to laptop-scale fractions.
+type RealLike int
+
+const (
+	// Roads emulates the ROADS dataset: 20M linestrings,
+	// avg extent 1.173e-5 x 0.915e-5.
+	Roads RealLike = iota
+	// Edges emulates the EDGES dataset: 70M polygons,
+	// avg extent 0.491e-5 x 0.383e-5.
+	Edges
+	// Tiger emulates the merged TIGER dataset: 98M mixed objects,
+	// avg extent 0.740e-5 x 0.576e-5.
+	Tiger
+)
+
+// String implements fmt.Stringer.
+func (k RealLike) String() string {
+	switch k {
+	case Roads:
+		return "ROADS"
+	case Edges:
+		return "EDGES"
+	case Tiger:
+		return "TIGER"
+	}
+	return "real(?)"
+}
+
+// PaperCardinality returns the cardinality of the original dataset.
+func (k RealLike) PaperCardinality() int {
+	switch k {
+	case Roads:
+		return 20_000_000
+	case Edges:
+		return 70_000_000
+	default:
+		return 98_000_000
+	}
+}
+
+// AvgExtent returns the average MBR extent per axis of the original
+// dataset (Table III).
+func (k RealLike) AvgExtent() (x, y float64) {
+	switch k {
+	case Roads:
+		return 1.173e-5, 0.915e-5
+	case Edges:
+		return 0.491e-5, 0.383e-5
+	default:
+		return 0.740e-5, 0.576e-5
+	}
+}
+
+// cluster is one population center of the skewed spatial model.
+type cluster struct {
+	cx, cy, sigma, weight float64
+}
+
+// clusterModel draws a mixture of gaussian clusters plus a uniform
+// background, emulating the population-driven skew of TIGER data.
+func clusterModel(rnd *rand.Rand, n int) []cluster {
+	clusters := make([]cluster, n)
+	for i := range clusters {
+		clusters[i] = cluster{
+			cx:     rnd.Float64(),
+			cy:     rnd.Float64(),
+			sigma:  0.005 + rnd.Float64()*0.06,
+			weight: rnd.Float64(),
+		}
+	}
+	return clusters
+}
+
+// samplePoint draws an object center: 85% from a random cluster (weighted),
+// 15% uniform background.
+func samplePoint(rnd *rand.Rand, clusters []cluster, totalWeight float64) (float64, float64) {
+	if rnd.Float64() < 0.15 {
+		return rnd.Float64(), rnd.Float64()
+	}
+	t := rnd.Float64() * totalWeight
+	for _, c := range clusters {
+		t -= c.weight
+		if t <= 0 {
+			x := c.cx + rnd.NormFloat64()*c.sigma
+			y := c.cy + rnd.NormFloat64()*c.sigma
+			return clamp01(x), clamp01(y)
+		}
+	}
+	return rnd.Float64(), rnd.Float64()
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// RealLikeDataset generates n objects emulating the given dataset,
+// including exact geometries (linestrings for ROADS, polygons for EDGES,
+// a mix for TIGER).
+func RealLikeDataset(kind RealLike, n int, seed int64) *spatial.Dataset {
+	rnd := rand.New(rand.NewSource(seed))
+	clusters := clusterModel(rnd, 64)
+	total := 0.0
+	for _, c := range clusters {
+		total += c.weight
+	}
+	avgX, avgY := kind.AvgExtent()
+
+	geoms := make([]geom.Geometry, n)
+	for i := range geoms {
+		cx, cy := samplePoint(rnd, clusters, total)
+		// Exponentially distributed extents around the Table III means
+		// reproduce the long tail of real MBR sizes.
+		w := rnd.ExpFloat64() * avgX
+		h := rnd.ExpFloat64() * avgY
+		switch kind {
+		case Roads:
+			geoms[i] = randLineString(rnd, cx, cy, w, h)
+		case Edges:
+			geoms[i] = randPolygon(rnd, cx, cy, w, h)
+		default:
+			if rnd.Intn(98) < 20 { // ROADS:EDGES cardinality ratio
+				geoms[i] = randLineString(rnd, cx, cy, w, h)
+			} else {
+				geoms[i] = randPolygon(rnd, cx, cy, w, h)
+			}
+		}
+	}
+	return spatial.NewGeomDataset(geoms)
+}
+
+// randLineString draws a 2-5 vertex polyline spanning the w x h box at
+// (cx, cy).
+func randLineString(rnd *rand.Rand, cx, cy, w, h float64) *geom.LineString {
+	nv := 2 + rnd.Intn(4)
+	pts := make([]geom.Point, nv)
+	for i := range pts {
+		// Spread vertices across the box so the MBR extent is ~(w, h).
+		fx := float64(i) / float64(nv-1)
+		fy := rnd.Float64()
+		if i == 0 {
+			fy = 0
+		} else if i == nv-1 {
+			fy = 1
+		}
+		pts[i] = geom.Point{X: clamp01(cx + (fx-0.5)*w), Y: clamp01(cy + (fy-0.5)*h)}
+	}
+	return geom.NewLineString(pts...)
+}
+
+// randPolygon draws a small convex polygon with MBR extent ~(w, h).
+func randPolygon(rnd *rand.Rand, cx, cy, w, h float64) *geom.Polygon {
+	nv := 3 + rnd.Intn(5)
+	ring := make([]geom.Point, nv)
+	for i := range ring {
+		a := (float64(i) + rnd.Float64()*0.8) / float64(nv) * 2 * math.Pi
+		ring[i] = geom.Point{
+			X: clamp01(cx + 0.5*w*math.Cos(a)),
+			Y: clamp01(cy + 0.5*h*math.Sin(a)),
+		}
+	}
+	return geom.NewPolygon(ring...)
+}
+
+// DatasetStats summarizes a dataset the way Table III reports it.
+type DatasetStats struct {
+	Cardinality  int
+	AvgXExtent   float64
+	AvgYExtent   float64
+	Linestrings  int
+	Polygons     int
+	OtherObjects int
+}
+
+// Stats computes Table III style statistics.
+func Stats(d *spatial.Dataset) DatasetStats {
+	s := DatasetStats{Cardinality: d.Len()}
+	var sx, sy float64
+	for _, e := range d.Entries {
+		sx += e.Rect.Width()
+		sy += e.Rect.Height()
+	}
+	if d.Len() > 0 {
+		s.AvgXExtent = sx / float64(d.Len())
+		s.AvgYExtent = sy / float64(d.Len())
+	}
+	for _, g := range d.Geoms {
+		switch g.(type) {
+		case *geom.LineString:
+			s.Linestrings++
+		case *geom.Polygon:
+			s.Polygons++
+		default:
+			s.OtherObjects++
+		}
+	}
+	return s
+}

@@ -1,0 +1,183 @@
+// Package dataio serializes datasets and query workloads to a simple CSV
+// format, so generated workloads can be stored, inspected and replayed by
+// the command-line tools.
+//
+// Rectangle rows are "minx,miny,maxx,maxy". Geometry rows prepend a type
+// tag and vertex list: "L,x1,y1,x2,y2,..." for linestrings and
+// "P,x1,y1,..." for polygons; plain rectangles use "R,minx,miny,maxx,maxy".
+// Object IDs are implicit row numbers, matching the dense-ID convention.
+package dataio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"github.com/twolayer/twolayer/internal/geom"
+	"github.com/twolayer/twolayer/internal/spatial"
+)
+
+// WriteRects writes one rectangle per line.
+func WriteRects(w io.Writer, rects []geom.Rect) error {
+	bw := bufio.NewWriter(w)
+	for _, r := range rects {
+		if _, err := fmt.Fprintf(bw, "%g,%g,%g,%g\n", r.MinX, r.MinY, r.MaxX, r.MaxY); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadRects reads rectangles written by WriteRects.
+func ReadRects(r io.Reader) ([]geom.Rect, error) {
+	var out []geom.Rect
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		vals, err := parseFloats(text, 4)
+		if err != nil {
+			return nil, fmt.Errorf("dataio: line %d: %w", line, err)
+		}
+		rect := geom.Rect{MinX: vals[0], MinY: vals[1], MaxX: vals[2], MaxY: vals[3]}
+		if !rect.Valid() {
+			return nil, fmt.Errorf("dataio: line %d: invalid rect %v", line, rect)
+		}
+		out = append(out, rect)
+	}
+	return out, sc.Err()
+}
+
+// WriteDataset writes a dataset with exact geometries.
+func WriteDataset(w io.Writer, d *spatial.Dataset) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range d.Entries {
+		if err := writeGeom(bw, d.Geom(e.ID)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func writeGeom(w io.Writer, g geom.Geometry) error {
+	switch t := g.(type) {
+	case *geom.LineString:
+		return writeTagged(w, "L", t.Points)
+	case *geom.Polygon:
+		return writeTagged(w, "P", t.Ring)
+	case geom.RectGeometry:
+		r := geom.Rect(t)
+		_, err := fmt.Fprintf(w, "R,%g,%g,%g,%g\n", r.MinX, r.MinY, r.MaxX, r.MaxY)
+		return err
+	case geom.PointGeometry:
+		_, err := fmt.Fprintf(w, "R,%g,%g,%g,%g\n", t.X, t.Y, t.X, t.Y)
+		return err
+	default:
+		r := g.MBR()
+		_, err := fmt.Fprintf(w, "R,%g,%g,%g,%g\n", r.MinX, r.MinY, r.MaxX, r.MaxY)
+		return err
+	}
+}
+
+func writeTagged(w io.Writer, tag string, pts []geom.Point) error {
+	var sb strings.Builder
+	sb.WriteString(tag)
+	for _, p := range pts {
+		fmt.Fprintf(&sb, ",%g,%g", p.X, p.Y)
+	}
+	sb.WriteByte('\n')
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// ReadDataset reads a dataset written by WriteDataset.
+func ReadDataset(r io.Reader) (*spatial.Dataset, error) {
+	var geoms []geom.Geometry
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		g, err := parseGeom(text)
+		if err != nil {
+			return nil, fmt.Errorf("dataio: line %d: %w", line, err)
+		}
+		geoms = append(geoms, g)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return spatial.NewGeomDataset(geoms), nil
+}
+
+func parseGeom(text string) (geom.Geometry, error) {
+	tag, rest, ok := strings.Cut(text, ",")
+	if !ok {
+		return nil, fmt.Errorf("missing geometry tag")
+	}
+	switch tag {
+	case "R":
+		vals, err := parseFloats(rest, 4)
+		if err != nil {
+			return nil, err
+		}
+		r := geom.Rect{MinX: vals[0], MinY: vals[1], MaxX: vals[2], MaxY: vals[3]}
+		if !r.Valid() {
+			return nil, fmt.Errorf("invalid rect %v", r)
+		}
+		return geom.RectGeometry(r), nil
+	case "L", "P":
+		vals, err := parseFloats(rest, -1)
+		if err != nil {
+			return nil, err
+		}
+		if len(vals)%2 != 0 {
+			return nil, fmt.Errorf("odd coordinate count %d", len(vals))
+		}
+		pts := make([]geom.Point, len(vals)/2)
+		for i := range pts {
+			pts[i] = geom.Point{X: vals[2*i], Y: vals[2*i+1]}
+		}
+		if tag == "L" {
+			if len(pts) < 2 {
+				return nil, fmt.Errorf("linestring needs 2+ points")
+			}
+			return geom.NewLineString(pts...), nil
+		}
+		if len(pts) < 3 {
+			return nil, fmt.Errorf("polygon needs 3+ points")
+		}
+		return geom.NewPolygon(pts...), nil
+	default:
+		return nil, fmt.Errorf("unknown geometry tag %q", tag)
+	}
+}
+
+// parseFloats splits a comma-separated float list; want < 0 accepts any
+// count.
+func parseFloats(s string, want int) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	if want >= 0 && len(parts) != want {
+		return nil, fmt.Errorf("have %d fields, want %d", len(parts), want)
+	}
+	out := make([]float64, len(parts))
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("field %d: %w", i+1, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}

@@ -1,0 +1,131 @@
+package dataio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/twolayer/twolayer/internal/datagen"
+	"github.com/twolayer/twolayer/internal/geom"
+)
+
+func TestRectsRoundTrip(t *testing.T) {
+	rects := datagen.Rects(datagen.Spec{N: 500, Area: 1e-6, Seed: 9})
+	var buf bytes.Buffer
+	if err := WriteRects(&buf, rects); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadRects(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(rects) {
+		t.Fatalf("read %d rects, wrote %d", len(got), len(rects))
+	}
+	for i := range got {
+		if got[i] != rects[i] {
+			t.Fatalf("rect %d: %v != %v", i, got[i], rects[i])
+		}
+	}
+}
+
+func TestDatasetRoundTrip(t *testing.T) {
+	for _, kind := range []datagen.RealLike{datagen.Roads, datagen.Edges, datagen.Tiger} {
+		d := datagen.RealLikeDataset(kind, 200, 13)
+		var buf bytes.Buffer
+		if err := WriteDataset(&buf, d); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadDataset(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Len() != d.Len() {
+			t.Fatalf("%v: read %d, wrote %d", kind, got.Len(), d.Len())
+		}
+		for i := range d.Entries {
+			a, b := d.Entries[i].Rect, got.Entries[i].Rect
+			// Round-tripping through %g is exact for float64.
+			if a != b {
+				t.Fatalf("%v: entry %d MBR %v != %v", kind, i, a, b)
+			}
+		}
+	}
+}
+
+func TestRectOnlyDatasetRoundTrip(t *testing.T) {
+	d := datagen.Dataset(datagen.Spec{N: 50, Area: 1e-4, Seed: 1})
+	var buf bytes.Buffer
+	if err := WriteDataset(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDataset(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range d.Entries {
+		if got.Entries[i].Rect != d.Entries[i].Rect {
+			t.Fatalf("entry %d differs", i)
+		}
+	}
+}
+
+func TestReadSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# header\n\n0.1,0.1,0.2,0.2\n  \n0.3,0.3,0.4,0.4\n"
+	rects, err := ReadRects(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rects) != 2 {
+		t.Fatalf("got %d rects", len(rects))
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := map[string]string{
+		"wrong field count": "0.1,0.2,0.3\n",
+		"non-numeric":       "a,b,c,d\n",
+		"inverted rect":     "0.5,0.5,0.1,0.9\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadRects(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+	geomCases := map[string]string{
+		"unknown tag":   "X,0.1,0.2\n",
+		"no tag":        "justtext\n",
+		"odd coords":    "L,0.1,0.2,0.3\n",
+		"short line":    "L,0.1,0.2\n",
+		"short polygon": "P,0.1,0.2,0.3,0.4\n",
+		"bad rect":      "R,0.5,0.5,0.1,0.9\n",
+		"bad float":     "L,x,y,0.3,0.4\n",
+	}
+	for name, in := range geomCases {
+		if _, err := ReadDataset(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestGeomTypesPreserved(t *testing.T) {
+	line := geom.NewLineString(geom.Point{X: 0.1, Y: 0.2}, geom.Point{X: 0.3, Y: 0.4})
+	poly := geom.NewPolygon(geom.Point{X: 0, Y: 0}, geom.Point{X: 0.1, Y: 0}, geom.Point{X: 0, Y: 0.1})
+	var buf bytes.Buffer
+	if err := writeGeom(&buf, line); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeGeom(&buf, poly); err != nil {
+		t.Fatal(err)
+	}
+	d, err := ReadDataset(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d.Geoms[0].(*geom.LineString); !ok {
+		t.Error("linestring type lost")
+	}
+	if _, ok := d.Geoms[1].(*geom.Polygon); !ok {
+		t.Error("polygon type lost")
+	}
+}

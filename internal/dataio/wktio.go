@@ -1,0 +1,52 @@
+package dataio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"github.com/twolayer/twolayer/internal/geom"
+	"github.com/twolayer/twolayer/internal/spatial"
+	"github.com/twolayer/twolayer/internal/wkt"
+)
+
+// WriteWKT writes one WKT geometry per line, the common interchange shape
+// of real spatial datasets (TIGER extracts, OSM dumps).
+func WriteWKT(w io.Writer, d *spatial.Dataset) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range d.Entries {
+		if _, err := bw.WriteString(wkt.Format(d.Geom(e.ID))); err != nil {
+			return err
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadWKT reads a dataset with one WKT geometry per line. Blank lines and
+// lines starting with '#' are skipped.
+func ReadWKT(r io.Reader) (*spatial.Dataset, error) {
+	var geoms []geom.Geometry
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		g, err := wkt.Parse(text)
+		if err != nil {
+			return nil, fmt.Errorf("dataio: line %d: %w", line, err)
+		}
+		geoms = append(geoms, g)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return spatial.NewGeomDataset(geoms), nil
+}

@@ -1,0 +1,118 @@
+// Package dedup implements the duplicate-elimination techniques that
+// space-oriented partitioning indices traditionally pair with object
+// replication, and which the two-layer index makes unnecessary:
+//
+//   - the reference point technique of Dittrich and Seeger (ICDE 2000),
+//     the state of the art the paper compares against,
+//   - plain hash-based elimination,
+//   - the bounded-memory active-border variant of Aref and Samet
+//     (CIKM 1994), which exploits an ordered scan of the partitions.
+//
+// These are the substrate of the 1-layer baseline index and of the
+// deduplication ablation benchmarks.
+package dedup
+
+import (
+	"github.com/twolayer/twolayer/internal/geom"
+	"github.com/twolayer/twolayer/internal/spatial"
+)
+
+// RefPoint returns the reference point of the intersection between an
+// object MBR r and a query window w: the minimum corner of r ∩ w. The
+// caller reports r only in the partition containing this point, which is
+// unique, so no duplicates are reported.
+func RefPoint(r, w geom.Rect) geom.Point {
+	p := geom.Point{X: r.MinX, Y: r.MinY}
+	if w.MinX > p.X {
+		p.X = w.MinX
+	}
+	if w.MinY > p.Y {
+		p.Y = w.MinY
+	}
+	return p
+}
+
+// Hash is the classic hash-based duplicate eliminator: it remembers every
+// reported ID. Memory grows with the result size, which is exactly the
+// weakness the reference point technique removes.
+type Hash struct {
+	seen map[spatial.ID]struct{}
+}
+
+// NewHash returns an empty eliminator.
+func NewHash() *Hash {
+	return &Hash{seen: make(map[spatial.ID]struct{})}
+}
+
+// FirstTime reports whether id has not been seen before, recording it.
+func (h *Hash) FirstTime(id spatial.ID) bool {
+	if _, ok := h.seen[id]; ok {
+		return false
+	}
+	h.seen[id] = struct{}{}
+	return true
+}
+
+// Reset clears the eliminator for reuse across queries.
+func (h *Hash) Reset() {
+	clear(h.seen)
+}
+
+// Len returns the number of distinct IDs recorded (the hash table size).
+func (h *Hash) Len() int { return len(h.seen) }
+
+// ActiveBorder is the bounded-memory eliminator of Aref and Samet. The
+// caller processes partitions in row-major order and tells the border the
+// last tile column each object can appear in; once the scan passes an
+// object's last replica, the object is evicted, so the table holds only
+// the "active border" instead of the whole result set.
+type ActiveBorder struct {
+	// live maps an ID to the last (row-major) partition order index in
+	// which a replica of the object can appear.
+	live    map[spatial.ID]int
+	maxSize int
+	cursor  int
+}
+
+// NewActiveBorder returns an empty active border.
+func NewActiveBorder() *ActiveBorder {
+	return &ActiveBorder{live: make(map[spatial.ID]int)}
+}
+
+// Advance moves the scan cursor to partition order index pos (row-major),
+// evicting every object whose last replica lies strictly before pos.
+// Partitions must be visited in nondecreasing order.
+func (ab *ActiveBorder) Advance(pos int) {
+	ab.cursor = pos
+	for id, last := range ab.live {
+		if last < pos {
+			delete(ab.live, id)
+		}
+	}
+}
+
+// FirstTime reports whether id has not been seen in the live border,
+// recording it with the order index of its last possible replica.
+func (ab *ActiveBorder) FirstTime(id spatial.ID, lastPos int) bool {
+	if _, ok := ab.live[id]; ok {
+		return false
+	}
+	if lastPos >= ab.cursor { // no need to track objects already past
+		ab.live[id] = lastPos
+		if len(ab.live) > ab.maxSize {
+			ab.maxSize = len(ab.live)
+		}
+	}
+	return true
+}
+
+// MaxSize returns the high-water mark of the border table, the quantity
+// Aref and Samet bound.
+func (ab *ActiveBorder) MaxSize() int { return ab.maxSize }
+
+// Reset clears the border for reuse.
+func (ab *ActiveBorder) Reset() {
+	clear(ab.live)
+	ab.maxSize = 0
+	ab.cursor = 0
+}

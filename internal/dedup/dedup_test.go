@@ -1,0 +1,87 @@
+package dedup
+
+import (
+	"testing"
+
+	"github.com/twolayer/twolayer/internal/geom"
+)
+
+func TestRefPoint(t *testing.T) {
+	r := geom.Rect{MinX: 1, MinY: 1, MaxX: 4, MaxY: 4}
+	tests := []struct {
+		w    geom.Rect
+		want geom.Point
+	}{
+		{geom.Rect{MinX: 0, MinY: 0, MaxX: 5, MaxY: 5}, geom.Point{X: 1, Y: 1}}, // w contains r
+		{geom.Rect{MinX: 2, MinY: 0, MaxX: 5, MaxY: 5}, geom.Point{X: 2, Y: 1}}, // w starts inside r in x
+		{geom.Rect{MinX: 2, MinY: 3, MaxX: 5, MaxY: 5}, geom.Point{X: 2, Y: 3}}, // both
+		{geom.Rect{MinX: 0, MinY: 2, MaxX: 3, MaxY: 3}, geom.Point{X: 1, Y: 2}},
+	}
+	for _, tc := range tests {
+		if got := RefPoint(r, tc.w); got != tc.want {
+			t.Errorf("RefPoint(%v, %v) = %v, want %v", r, tc.w, got, tc.want)
+		}
+	}
+}
+
+func TestHash(t *testing.T) {
+	h := NewHash()
+	if !h.FirstTime(3) {
+		t.Error("first occurrence rejected")
+	}
+	if h.FirstTime(3) {
+		t.Error("duplicate accepted")
+	}
+	if !h.FirstTime(4) {
+		t.Error("distinct id rejected")
+	}
+	if h.Len() != 2 {
+		t.Errorf("Len = %d, want 2", h.Len())
+	}
+	h.Reset()
+	if h.Len() != 0 || !h.FirstTime(3) {
+		t.Error("Reset did not clear")
+	}
+}
+
+func TestActiveBorder(t *testing.T) {
+	ab := NewActiveBorder()
+	// Object 1 lives in positions 0..2; object 2 in position 1 only.
+	ab.Advance(0)
+	if !ab.FirstTime(1, 2) {
+		t.Error("object 1 first occurrence rejected")
+	}
+	ab.Advance(1)
+	if ab.FirstTime(1, 2) {
+		t.Error("object 1 duplicate accepted while live")
+	}
+	if !ab.FirstTime(2, 1) {
+		t.Error("object 2 first occurrence rejected")
+	}
+	if ab.MaxSize() != 2 {
+		t.Errorf("MaxSize = %d, want 2", ab.MaxSize())
+	}
+	// After passing position 2, object 1 is evicted; table shrinks — the
+	// bounded-memory property.
+	ab.Advance(3)
+	if len(ab.live) != 0 {
+		t.Errorf("border not evicted: %d live", len(ab.live))
+	}
+	ab.Reset()
+	if ab.MaxSize() != 0 || ab.cursor != 0 {
+		t.Error("Reset incomplete")
+	}
+}
+
+// An object whose last position is already behind the cursor should be
+// reported but not tracked.
+func TestActiveBorderPastObjects(t *testing.T) {
+	ab := NewActiveBorder()
+	ab.Advance(5)
+	if !ab.FirstTime(9, 3) {
+		t.Error("past object first occurrence rejected")
+	}
+	if len(ab.live) != 0 {
+		t.Error("past object tracked needlessly")
+	}
+}

@@ -1,0 +1,284 @@
+// Package distsim simulates a distributed spatial analytics engine of the
+// GeoSpark/SpatialHadoop family, standing in for the paper's Figure 12
+// comparison (GeoSpark itself needs a Spark runtime that is out of scope
+// here).
+//
+// The simulation reproduces the two costs that dominate such engines at
+// the paper's data scale and that its Section VII-D measurement isolates:
+//
+//   - per-job driver overhead: every query is a job that must be planned
+//     and dispatched (Spark job scheduling, stage setup);
+//   - per-task overheads: the query and each partition's results are
+//     serialized and deserialized between driver and executors (real
+//     encoding/gob round trips over in-process pipes), plus a task-launch
+//     latency per executor task.
+//
+// Inside each executor, queries run against a local STR R-tree — the
+// best-performing GeoSpark configuration per the paper. With all
+// overheads set to zero the cluster degenerates to a parallel R-tree
+// forest, which the tests exploit for correctness checking.
+package distsim
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/twolayer/twolayer/internal/core"
+	"github.com/twolayer/twolayer/internal/geom"
+	"github.com/twolayer/twolayer/internal/rtree"
+	"github.com/twolayer/twolayer/internal/spatial"
+)
+
+// LocalIndex selects the index executors use for their partition.
+type LocalIndex int
+
+const (
+	// LocalRTree gives executors STR R-trees, the best-performing
+	// GeoSpark configuration per the paper.
+	LocalRTree LocalIndex = iota
+	// LocalTwoLayer gives executors two-layer grids — the paper's stated
+	// future work of applying its scheme inside distributed systems.
+	LocalTwoLayer
+)
+
+// Options configure the simulated cluster.
+type Options struct {
+	// Workers is the number of executors (default 4).
+	Workers int
+	// JobOverhead is the fixed driver-side cost per query job
+	// (default 40ms, a conservative Spark job-scheduling figure).
+	JobOverhead time.Duration
+	// TaskOverhead is the launch latency per executor task
+	// (default 4ms).
+	TaskOverhead time.Duration
+	// Fanout is the executor-local R-tree fanout (default 16).
+	Fanout int
+	// Local selects the executor-local index (default LocalRTree).
+	Local LocalIndex
+	// GridSize is the executor-local grid granularity when Local is
+	// LocalTwoLayer (default: occupancy-scaled).
+	GridSize int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers == 0 {
+		o.Workers = 4
+	}
+	if o.JobOverhead == 0 {
+		o.JobOverhead = 40 * time.Millisecond
+	}
+	if o.TaskOverhead == 0 {
+		o.TaskOverhead = 4 * time.Millisecond
+	}
+	if o.Fanout == 0 {
+		o.Fanout = rtree.DefaultFanout
+	}
+	return o
+}
+
+// NoOverhead returns options with all simulated latencies disabled, for
+// correctness tests.
+func NoOverhead(workers int) Options {
+	return Options{Workers: workers, JobOverhead: -1, TaskOverhead: -1}
+}
+
+func sleep(d time.Duration) {
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// task is the unit of work shipped to an executor.
+type task struct {
+	Query geom.Rect
+}
+
+// taskResult is the serialized executor answer.
+type taskResult struct {
+	IDs []spatial.ID
+}
+
+// localIndex is what an executor needs from its partition index; both
+// the STR R-tree and the two-layer grid satisfy it.
+type localIndex interface {
+	Window(w geom.Rect, fn func(e spatial.Entry))
+	Len() int
+}
+
+// executor owns one data partition with a local index, mirroring a
+// GeoSpark executor holding an indexed RDD partition.
+type executor struct {
+	bounds geom.Rect
+	local  localIndex
+	in     chan []byte
+	out    chan []byte
+}
+
+// Cluster is the simulated engine: a driver plus Workers executors.
+type Cluster struct {
+	opts  Options
+	execs []*executor
+	wg    sync.WaitGroup
+}
+
+// NewCluster partitions the dataset across executors by object center
+// (each object lives in exactly one partition, so results need no
+// deduplication) and builds a local STR R-tree per executor.
+func NewCluster(d *spatial.Dataset, opts Options) *Cluster {
+	opts = opts.withDefaults()
+	c := &Cluster{opts: opts}
+
+	// Partition the space into vertical stripes with equal object counts
+	// (a simple equi-depth spatial partitioning).
+	parts := make([][]spatial.Entry, opts.Workers)
+	if d.Len() > 0 {
+		sorted := make([]spatial.Entry, len(d.Entries))
+		copy(sorted, d.Entries)
+		sortByCenterX(sorted)
+		per := (len(sorted) + opts.Workers - 1) / opts.Workers
+		for w := 0; w < opts.Workers; w++ {
+			lo := w * per
+			if lo >= len(sorted) {
+				break
+			}
+			hi := lo + per
+			if hi > len(sorted) {
+				hi = len(sorted)
+			}
+			parts[w] = sorted[lo:hi]
+		}
+	}
+
+	for w := 0; w < opts.Workers; w++ {
+		entries := parts[w]
+		local := &spatial.Dataset{Entries: renumber(entries)}
+		ex := &executor{
+			local: buildLocal(local, opts),
+			in:    make(chan []byte, 1),
+			out:   make(chan []byte, 1),
+		}
+		ex.bounds = partitionBounds(entries)
+		// Local trees carry partition-local IDs; map back via closure.
+		ids := make([]spatial.ID, len(entries))
+		for i, e := range entries {
+			ids[i] = e.ID
+		}
+		c.execs = append(c.execs, ex)
+		c.wg.Add(1)
+		go c.runExecutor(ex, ids)
+	}
+	return c
+}
+
+// buildLocal constructs the executor-local index.
+func buildLocal(d *spatial.Dataset, opts Options) localIndex {
+	if opts.Local == LocalTwoLayer {
+		g := opts.GridSize
+		if g == 0 {
+			g = 64
+			for g*g < d.Len() && g < 2048 {
+				g *= 2
+			}
+		}
+		return core.Build(d, core.Options{NX: g, NY: g})
+	}
+	return rtree.BulkSTR(d, rtree.Options{Fanout: opts.Fanout})
+}
+
+func sortByCenterX(entries []spatial.Entry) {
+	sort.Slice(entries, func(i, j int) bool {
+		return entries[i].Rect.Center().X < entries[j].Rect.Center().X
+	})
+}
+
+func renumber(entries []spatial.Entry) []spatial.Entry {
+	out := make([]spatial.Entry, len(entries))
+	for i, e := range entries {
+		out[i] = spatial.Entry{Rect: e.Rect, ID: spatial.ID(i)}
+	}
+	return out
+}
+
+func partitionBounds(entries []spatial.Entry) geom.Rect {
+	if len(entries) == 0 {
+		return geom.Rect{}
+	}
+	b := entries[0].Rect
+	for _, e := range entries[1:] {
+		b = b.Union(e.Rect)
+	}
+	return b
+}
+
+// runExecutor is the executor loop: decode task, query local index,
+// encode results.
+func (c *Cluster) runExecutor(ex *executor, globalIDs []spatial.ID) {
+	defer c.wg.Done()
+	for msg := range ex.in {
+		sleep(c.opts.TaskOverhead)
+		var t task
+		if err := gob.NewDecoder(bytes.NewReader(msg)).Decode(&t); err != nil {
+			panic(fmt.Sprintf("distsim: task decode: %v", err))
+		}
+		var res taskResult
+		ex.local.Window(t.Query, func(e spatial.Entry) {
+			res.IDs = append(res.IDs, globalIDs[e.ID])
+		})
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(&res); err != nil {
+			panic(fmt.Sprintf("distsim: result encode: %v", err))
+		}
+		ex.out <- buf.Bytes()
+	}
+}
+
+// Window runs one window query end to end through the simulated engine
+// and returns the matching global object IDs.
+func (c *Cluster) Window(w geom.Rect) []spatial.ID {
+	sleep(c.opts.JobOverhead)
+
+	// Serialize and broadcast the task to executors whose partition can
+	// contribute (partition pruning on data bounds, as Spark does on
+	// partition metadata).
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(task{Query: w}); err != nil {
+		panic(fmt.Sprintf("distsim: task encode: %v", err))
+	}
+	msg := buf.Bytes()
+	var hit []*executor
+	for _, ex := range c.execs {
+		if ex.local.Len() > 0 && ex.bounds.Intersects(w) {
+			ex.in <- msg
+			hit = append(hit, ex)
+		}
+	}
+	// Collect and deserialize per-task results.
+	var out []spatial.ID
+	for _, ex := range hit {
+		raw := <-ex.out
+		var res taskResult
+		if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&res); err != nil {
+			panic(fmt.Sprintf("distsim: result decode: %v", err))
+		}
+		out = append(out, res.IDs...)
+	}
+	return out
+}
+
+// WindowCount returns the result cardinality of one query job.
+func (c *Cluster) WindowCount(w geom.Rect) int { return len(c.Window(w)) }
+
+// Close shuts the executors down.
+func (c *Cluster) Close() {
+	for _, ex := range c.execs {
+		close(ex.in)
+	}
+	c.wg.Wait()
+}
+
+// Workers returns the number of executors.
+func (c *Cluster) Workers() int { return len(c.execs) }

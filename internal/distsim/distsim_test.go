@@ -1,0 +1,123 @@
+package distsim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+
+	"github.com/twolayer/twolayer/internal/datagen"
+	"github.com/twolayer/twolayer/internal/geom"
+	"github.com/twolayer/twolayer/internal/spatial"
+)
+
+// TestWindowMatchesBruteForce: with overheads disabled, the cluster must
+// be a correct (if elaborate) window-query engine.
+func TestWindowMatchesBruteForce(t *testing.T) {
+	d := datagen.Dataset(datagen.Spec{N: 2000, Area: 1e-6, Seed: 17})
+	for _, workers := range []int{1, 3, 8} {
+		c := NewCluster(d, NoOverhead(workers))
+		rnd := rand.New(rand.NewSource(18))
+		for q := 0; q < 50; q++ {
+			x, y := rnd.Float64(), rnd.Float64()
+			w := geom.Rect{MinX: x, MinY: y, MaxX: x + 0.1, MaxY: y + 0.1}
+			got := c.Window(w)
+			want := spatial.BruteWindow(d.Entries, w)
+			sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+			sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+			if len(got) != len(want) {
+				t.Fatalf("workers=%d: got %d, want %d", workers, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("workers=%d: result %d = %d, want %d", workers, i, got[i], want[i])
+				}
+			}
+		}
+		c.Close()
+	}
+}
+
+// TestNoDuplicateResults: center-based partitioning stores each object
+// once, so no result may repeat.
+func TestNoDuplicateResults(t *testing.T) {
+	d := datagen.Dataset(datagen.Spec{N: 1000, Area: 1e-4, Seed: 19})
+	c := NewCluster(d, NoOverhead(4))
+	defer c.Close()
+	got := c.Window(geom.Rect{MaxX: 1, MaxY: 1})
+	seen := map[spatial.ID]bool{}
+	for _, id := range got {
+		if seen[id] {
+			t.Fatalf("duplicate %d", id)
+		}
+		seen[id] = true
+	}
+	if len(got) != d.Len() {
+		t.Fatalf("full-space query returned %d of %d", len(got), d.Len())
+	}
+}
+
+// TestJobOverheadDominates: the simulated engine must be slower per query
+// than the raw work requires — the Figure 12 effect.
+func TestJobOverheadDominates(t *testing.T) {
+	d := datagen.Dataset(datagen.Spec{N: 1000, Area: 1e-6, Seed: 20})
+	c := NewCluster(d, Options{Workers: 2, JobOverhead: 20 * time.Millisecond, TaskOverhead: time.Millisecond})
+	defer c.Close()
+	start := time.Now()
+	c.WindowCount(geom.Rect{MinX: 0.4, MinY: 0.4, MaxX: 0.5, MaxY: 0.5})
+	if el := time.Since(start); el < 20*time.Millisecond {
+		t.Errorf("query finished in %v, before the simulated job overhead", el)
+	}
+}
+
+// TestEmptyDataset: a cluster over nothing answers empty.
+func TestEmptyDataset(t *testing.T) {
+	c := NewCluster(&spatial.Dataset{}, NoOverhead(3))
+	defer c.Close()
+	if n := c.WindowCount(geom.Rect{MaxX: 1, MaxY: 1}); n != 0 {
+		t.Errorf("empty cluster returned %d", n)
+	}
+	if c.Workers() != 3 {
+		t.Errorf("Workers = %d", c.Workers())
+	}
+}
+
+// TestTwoLayerExecutors: the future-work configuration (two-layer grids
+// inside the executors) answers identically to R-tree executors.
+func TestTwoLayerExecutors(t *testing.T) {
+	d := datagen.Dataset(datagen.Spec{N: 2000, Area: 1e-6, Seed: 22})
+	opts := NoOverhead(4)
+	opts.Local = LocalTwoLayer
+	c := NewCluster(d, opts)
+	defer c.Close()
+	ref := NewCluster(d, NoOverhead(4))
+	defer ref.Close()
+	rnd := rand.New(rand.NewSource(23))
+	for q := 0; q < 40; q++ {
+		x, y := rnd.Float64(), rnd.Float64()
+		w := geom.Rect{MinX: x, MinY: y, MaxX: x + 0.1, MaxY: y + 0.1}
+		got := c.Window(w)
+		want := ref.Window(w)
+		sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		if len(got) != len(want) {
+			t.Fatalf("query %d: %d vs %d results", q, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("query %d: result %d differs", q, i)
+			}
+		}
+	}
+}
+
+// TestPartitionPruning: a query missing every partition touches no
+// executor and still answers.
+func TestPartitionPruning(t *testing.T) {
+	d := datagen.Dataset(datagen.Spec{N: 100, Area: 1e-6, Seed: 21})
+	c := NewCluster(d, NoOverhead(4))
+	defer c.Close()
+	if n := c.WindowCount(geom.Rect{MinX: 5, MinY: 5, MaxX: 6, MaxY: 6}); n != 0 {
+		t.Errorf("out-of-space query returned %d", n)
+	}
+}

@@ -1,0 +1,55 @@
+package geom
+
+// Geometry is the interface implemented by all exact object
+// representations. Spatial indices in this library manage MBRs; the
+// Geometry behind an MBR is only consulted during the refinement step.
+type Geometry interface {
+	// MBR returns the object's minimum bounding rectangle.
+	MBR() Rect
+	// IntersectsRect reports whether the exact geometry shares at least
+	// one point with the rectangle.
+	IntersectsRect(Rect) bool
+	// IntersectsDisk reports whether the exact geometry comes within
+	// radius of center.
+	IntersectsDisk(center Point, radius float64) bool
+}
+
+// RectGeometry adapts a plain rectangle to the Geometry interface, for
+// datasets whose objects are themselves rectangles (e.g., the synthetic
+// workloads of Table IV).
+type RectGeometry Rect
+
+// MBR implements Geometry.
+func (g RectGeometry) MBR() Rect { return Rect(g) }
+
+// IntersectsRect implements Geometry.
+func (g RectGeometry) IntersectsRect(r Rect) bool { return Rect(g).Intersects(r) }
+
+// IntersectsDisk implements Geometry.
+func (g RectGeometry) IntersectsDisk(c Point, radius float64) bool {
+	return Rect(g).IntersectsDisk(c, radius)
+}
+
+// PointGeometry adapts a point to the Geometry interface.
+type PointGeometry Point
+
+// MBR implements Geometry.
+func (g PointGeometry) MBR() Rect {
+	return Rect{MinX: g.X, MinY: g.Y, MaxX: g.X, MaxY: g.Y}
+}
+
+// IntersectsRect implements Geometry.
+func (g PointGeometry) IntersectsRect(r Rect) bool { return r.ContainsPoint(Point(g)) }
+
+// IntersectsDisk implements Geometry.
+func (g PointGeometry) IntersectsDisk(c Point, radius float64) bool {
+	return Point(g).DistSq(c) <= radius*radius
+}
+
+// Compile-time interface checks.
+var (
+	_ Geometry = RectGeometry{}
+	_ Geometry = PointGeometry{}
+	_ Geometry = (*LineString)(nil)
+	_ Geometry = (*Polygon)(nil)
+)

@@ -1,0 +1,91 @@
+package geom
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLineStringBasics(t *testing.T) {
+	l := NewLineString(Point{0, 0}, Point{3, 0}, Point{3, 4})
+	if l.NumSegments() != 2 {
+		t.Fatalf("NumSegments = %d", l.NumSegments())
+	}
+	if got := l.MBR(); got != (Rect{0, 0, 3, 4}) {
+		t.Errorf("MBR = %v", got)
+	}
+	if got := l.Length(); math.Abs(got-7) > 1e-12 {
+		t.Errorf("Length = %v, want 7", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for 1-point linestring")
+		}
+	}()
+	NewLineString(Point{0, 0})
+}
+
+func TestLineStringIntersectsRect(t *testing.T) {
+	// L-shaped polyline.
+	l := NewLineString(Point{0, 0}, Point{4, 0}, Point{4, 4})
+	tests := []struct {
+		name string
+		r    Rect
+		want bool
+	}{
+		{"crosses horizontal arm", Rect{1, -1, 2, 1}, true},
+		{"crosses vertical arm", Rect{3, 1, 5, 2}, true},
+		{"inside the elbow gap", Rect{1, 1, 3, 3}, false},
+		{"touches corner point", Rect{4, 0, 5, 1}, true},
+		{"fully disjoint", Rect{-3, -3, -1, -1}, false},
+		{"contains whole linestring", Rect{-1, -1, 5, 5}, true},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := l.IntersectsRect(tc.r); got != tc.want {
+				t.Errorf("IntersectsRect(%v) = %v, want %v", tc.r, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestLineStringDistAndDisk(t *testing.T) {
+	l := NewLineString(Point{0, 0}, Point{4, 0})
+	if d := l.DistSqToPoint(Point{2, 3}); math.Abs(d-9) > 1e-12 {
+		t.Errorf("DistSqToPoint = %v, want 9", d)
+	}
+	if !l.IntersectsDisk(Point{2, 3}, 3) {
+		t.Error("disk of radius 3 should touch")
+	}
+	if l.IntersectsDisk(Point{2, 3}, 2.9) {
+		t.Error("disk of radius 2.9 must not touch")
+	}
+	// Distance should consider all segments.
+	bent := NewLineString(Point{0, 0}, Point{4, 0}, Point{4, 4})
+	if d := bent.DistSqToPoint(Point{5, 4}); math.Abs(d-1) > 1e-12 {
+		t.Errorf("bent DistSqToPoint = %v, want 1", d)
+	}
+}
+
+func TestGeometryAdapters(t *testing.T) {
+	rg := RectGeometry(Rect{0, 0, 2, 2})
+	if rg.MBR() != (Rect{0, 0, 2, 2}) {
+		t.Error("RectGeometry.MBR mismatch")
+	}
+	if !rg.IntersectsRect(Rect{1, 1, 3, 3}) || rg.IntersectsRect(Rect{3, 3, 4, 4}) {
+		t.Error("RectGeometry.IntersectsRect wrong")
+	}
+	if !rg.IntersectsDisk(Point{3, 1}, 1) || rg.IntersectsDisk(Point{4, 1}, 1) {
+		t.Error("RectGeometry.IntersectsDisk wrong")
+	}
+
+	pg := PointGeometry(Point{1, 1})
+	if pg.MBR() != (Rect{1, 1, 1, 1}) {
+		t.Error("PointGeometry.MBR mismatch")
+	}
+	if !pg.IntersectsRect(Rect{0, 0, 2, 2}) || pg.IntersectsRect(Rect{2, 2, 3, 3}) {
+		t.Error("PointGeometry.IntersectsRect wrong")
+	}
+	if !pg.IntersectsDisk(Point{1, 2}, 1) || pg.IntersectsDisk(Point{1, 3}, 1) {
+		t.Error("PointGeometry.IntersectsDisk wrong")
+	}
+}

@@ -1,0 +1,144 @@
+package geom
+
+import (
+	"math"
+	"testing"
+)
+
+// unitSquarePoly returns the square [0,1]^2 as a polygon.
+func unitSquarePoly() *Polygon {
+	return NewPolygon(Point{0, 0}, Point{1, 0}, Point{1, 1}, Point{0, 1})
+}
+
+func TestPolygonConstruction(t *testing.T) {
+	p := NewPolygon(Point{0, 0}, Point{1, 0}, Point{1, 1}, Point{0, 0})
+	if len(p.Ring) != 3 {
+		t.Errorf("closing vertex should be dropped, got ring of %d", len(p.Ring))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for 2-vertex polygon")
+		}
+	}()
+	NewPolygon(Point{0, 0}, Point{1, 0})
+}
+
+func TestPolygonContainsPoint(t *testing.T) {
+	sq := unitSquarePoly()
+	tests := []struct {
+		p    Point
+		want bool
+	}{
+		{Point{0.5, 0.5}, true},
+		{Point{0, 0}, true},      // vertex
+		{Point{0.5, 0}, true},    // on edge
+		{Point{1.5, 0.5}, false}, // outside right
+		{Point{-0.1, 0.5}, false},
+		{Point{0.5, 1.0001}, false},
+	}
+	for _, tc := range tests {
+		if got := sq.ContainsPoint(tc.p); got != tc.want {
+			t.Errorf("ContainsPoint(%v) = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+	// Concave polygon (arrow shape pointing right with notch at left).
+	concave := NewPolygon(Point{0, 0}, Point{4, 0}, Point{4, 4}, Point{0, 4}, Point{2, 2})
+	if !concave.ContainsPoint(Point{3, 2}) {
+		t.Error("point in body of concave polygon should be inside")
+	}
+	if concave.ContainsPoint(Point{0.5, 2}) {
+		t.Error("point in the notch must be outside")
+	}
+}
+
+func TestPolygonArea(t *testing.T) {
+	if a := unitSquarePoly().Area(); math.Abs(a-1) > 1e-12 {
+		t.Errorf("unit square area = %v", a)
+	}
+	tri := NewPolygon(Point{0, 0}, Point{2, 0}, Point{0, 2})
+	if a := tri.Area(); math.Abs(a-2) > 1e-12 {
+		t.Errorf("triangle area = %v, want 2", a)
+	}
+	// Clockwise orientation must yield the same absolute area.
+	triCW := NewPolygon(Point{0, 0}, Point{0, 2}, Point{2, 0})
+	if a := triCW.Area(); math.Abs(a-2) > 1e-12 {
+		t.Errorf("clockwise triangle area = %v, want 2", a)
+	}
+}
+
+func TestPolygonMBR(t *testing.T) {
+	tri := NewPolygon(Point{0, 1}, Point{3, 0}, Point{1, 5})
+	if got := tri.MBR(); got != (Rect{0, 0, 3, 5}) {
+		t.Errorf("MBR = %v", got)
+	}
+}
+
+func TestPolygonIntersectsRect(t *testing.T) {
+	tri := NewPolygon(Point{0, 0}, Point{4, 0}, Point{2, 4})
+	tests := []struct {
+		name string
+		r    Rect
+		want bool
+	}{
+		{"overlapping body", Rect{1, 1, 3, 2}, true},
+		{"rect inside polygon", Rect{1.8, 0.5, 2.2, 1}, true},
+		{"polygon inside rect", Rect{-1, -1, 5, 5}, true},
+		{"edge crossing", Rect{-1, -1, 1, 1}, true},
+		{"disjoint", Rect{5, 5, 6, 6}, false},
+		{"mbr overlap but disjoint", Rect{3.5, 3, 4, 4}, false},
+		{"touching vertex", Rect{4, 0, 5, 1}, true},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tri.IntersectsRect(tc.r); got != tc.want {
+				t.Errorf("IntersectsRect(%v) = %v, want %v", tc.r, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestPolygonDistAndDisk(t *testing.T) {
+	sq := unitSquarePoly()
+	if d := sq.DistSqToPoint(Point{0.5, 0.5}); d != 0 {
+		t.Errorf("distance from interior point = %v, want 0", d)
+	}
+	if d := sq.DistSqToPoint(Point{2, 0.5}); math.Abs(d-1) > 1e-12 {
+		t.Errorf("distance sq from (2,0.5) = %v, want 1", d)
+	}
+	if !sq.IntersectsDisk(Point{2, 0.5}, 1) {
+		t.Error("disk reaching the edge should intersect")
+	}
+	if sq.IntersectsDisk(Point{2, 0.5}, 0.9) {
+		t.Error("disk short of the edge must not intersect")
+	}
+}
+
+func TestPolygonContainsRect(t *testing.T) {
+	sq := unitSquarePoly()
+	if !sq.ContainsRect(Rect{0.2, 0.2, 0.8, 0.8}) {
+		t.Error("interior rect should be contained")
+	}
+	if sq.ContainsRect(Rect{0.5, 0.5, 1.5, 0.8}) {
+		t.Error("rect crossing the boundary must not be contained")
+	}
+	if sq.ContainsRect(Rect{2, 2, 3, 3}) {
+		t.Error("outside rect must not be contained")
+	}
+	// A rect spanning a concave notch has all corners inside the convex
+	// hull but crosses edges.
+	concave := NewPolygon(Point{0, 0}, Point{4, 0}, Point{4, 4}, Point{0, 4}, Point{2, 2})
+	if concave.ContainsRect(Rect{0.5, 1.5, 3.5, 2.5}) {
+		t.Error("rect through the notch must not be contained")
+	}
+}
+
+func TestPolygonEdge(t *testing.T) {
+	tri := NewPolygon(Point{0, 0}, Point{1, 0}, Point{0, 1})
+	if tri.NumEdges() != 3 {
+		t.Fatalf("NumEdges = %d", tri.NumEdges())
+	}
+	last := tri.Edge(2)
+	if last.A != (Point{0, 1}) || last.B != (Point{0, 0}) {
+		t.Errorf("closing edge = %v", last)
+	}
+}

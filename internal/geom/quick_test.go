@@ -1,0 +1,209 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// genRect draws a random valid rectangle inside roughly [-5,5]^2.
+func genRect(rnd *rand.Rand) Rect {
+	p := Point{rnd.Float64()*10 - 5, rnd.Float64()*10 - 5}
+	q := Point{rnd.Float64()*10 - 5, rnd.Float64()*10 - 5}
+	return RectFromPoints(p, q)
+}
+
+func genPoint(rnd *rand.Rand) Point {
+	return Point{rnd.Float64()*10 - 5, rnd.Float64()*10 - 5}
+}
+
+func quickCfg() *quick.Config {
+	return &quick.Config{MaxCount: 2000}
+}
+
+// Rect intersection is symmetric and consistent with Intersection validity.
+func TestQuickRectIntersectionConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		rnd := rand.New(rand.NewSource(seed))
+		a, b := genRect(rnd), genRect(rnd)
+		inter := a.Intersects(b)
+		if inter != b.Intersects(a) {
+			return false
+		}
+		return inter == a.Intersection(b).Valid()
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// Union contains both inputs; intersection (when valid) is contained in both.
+func TestQuickRectUnionContains(t *testing.T) {
+	f := func(seed int64) bool {
+		rnd := rand.New(rand.NewSource(seed))
+		a, b := genRect(rnd), genRect(rnd)
+		u := a.Union(b)
+		if !u.Contains(a) || !u.Contains(b) {
+			return false
+		}
+		if i := a.Intersection(b); i.Valid() {
+			if !a.Contains(i) || !b.Contains(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// DistToPoint is zero exactly when the point is inside the rectangle, and
+// min distance never exceeds max distance.
+func TestQuickRectPointDistance(t *testing.T) {
+	f := func(seed int64) bool {
+		rnd := rand.New(rand.NewSource(seed))
+		r, p := genRect(rnd), genPoint(rnd)
+		d := r.DistSqToPoint(p)
+		if r.ContainsPoint(p) != (d == 0) {
+			return false
+		}
+		return d <= r.MaxDistSqToPoint(p)
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// Segment-rect intersection agrees with a dense sampling of the segment:
+// if any sampled point is inside the rect, IntersectsRect must say true.
+func TestQuickSegmentRectSampling(t *testing.T) {
+	f := func(seed int64) bool {
+		rnd := rand.New(rand.NewSource(seed))
+		r := genRect(rnd)
+		s := Segment{genPoint(rnd), genPoint(rnd)}
+		hit := s.IntersectsRect(r)
+		for i := 0; i <= 100; i++ {
+			t := float64(i) / 100
+			p := Point{s.A.X + t*(s.B.X-s.A.X), s.A.Y + t*(s.B.Y-s.A.Y)}
+			if r.ContainsPoint(p) && !hit {
+				return false // sampled point inside but predicate says miss
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// Segment distance to a point on the segment is (nearly) zero, and distance
+// to any point never exceeds the distance to either endpoint.
+func TestQuickSegmentDistance(t *testing.T) {
+	f := func(seed int64) bool {
+		rnd := rand.New(rand.NewSource(seed))
+		s := Segment{genPoint(rnd), genPoint(rnd)}
+		p := genPoint(rnd)
+		d := s.DistSqToPoint(p)
+		if d > p.DistSq(s.A)+1e-9 || d > p.DistSq(s.B)+1e-9 {
+			return false
+		}
+		// A point interpolated on the segment has ~zero distance.
+		t0 := rnd.Float64()
+		on := Point{s.A.X + t0*(s.B.X-s.A.X), s.A.Y + t0*(s.B.Y-s.A.Y)}
+		return s.DistSqToPoint(on) < 1e-18
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// A polygon's MBR contains every vertex, and IntersectsRect is implied by
+// containment of any vertex.
+func TestQuickPolygonInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rnd := rand.New(rand.NewSource(seed))
+		poly := genConvexPolygon(rnd)
+		mbr := poly.MBR()
+		for _, v := range poly.Ring {
+			if !mbr.ContainsPoint(v) {
+				return false
+			}
+		}
+		r := genRect(rnd)
+		for _, v := range poly.Ring {
+			if r.ContainsPoint(v) && !poly.IntersectsRect(r) {
+				return false
+			}
+		}
+		// Interior point of a convex polygon (centroid) must be contained.
+		var cx, cy float64
+		for _, v := range poly.Ring {
+			cx += v.X
+			cy += v.Y
+		}
+		n := float64(len(poly.Ring))
+		return poly.ContainsPoint(Point{cx / n, cy / n})
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// genConvexPolygon builds a random convex polygon by sorting points on a
+// circle of random radius around a random center.
+func genConvexPolygon(rnd *rand.Rand) *Polygon {
+	n := 3 + rnd.Intn(8)
+	c := genPoint(rnd)
+	radius := 0.1 + rnd.Float64()*2
+	angles := make([]float64, n)
+	for i := range angles {
+		angles[i] = rnd.Float64() * 2 * math.Pi
+	}
+	// Insertion sort (n <= 10).
+	for i := 1; i < n; i++ {
+		for j := i; j > 0 && angles[j] < angles[j-1]; j-- {
+			angles[j], angles[j-1] = angles[j-1], angles[j]
+		}
+	}
+	// De-duplicate near-equal angles to keep the polygon simple.
+	ring := make([]Point, 0, n)
+	prev := math.Inf(-1)
+	for _, a := range angles {
+		if a-prev < 1e-6 {
+			a = prev + 1e-6
+		}
+		prev = a
+		ring = append(ring, Point{c.X + radius*math.Cos(a), c.Y + radius*math.Sin(a)})
+	}
+	if len(ring) < 3 {
+		ring = []Point{{c.X, c.Y}, {c.X + radius, c.Y}, {c.X, c.Y + radius}}
+	}
+	return NewPolygon(ring...)
+}
+
+// Polygon disk intersection agrees with brute-force: sampled boundary and
+// interior distances.
+func TestQuickPolygonDisk(t *testing.T) {
+	f := func(seed int64) bool {
+		rnd := rand.New(rand.NewSource(seed))
+		poly := genConvexPolygon(rnd)
+		q := genPoint(rnd)
+		d2 := poly.DistSqToPoint(q)
+		if poly.ContainsPoint(q) {
+			return d2 == 0
+		}
+		// Distance must match the minimum over the edges.
+		best := math.Inf(1)
+		for i := 0; i < poly.NumEdges(); i++ {
+			if e := poly.Edge(i).DistSqToPoint(q); e < best {
+				best = e
+			}
+		}
+		return math.Abs(best-d2) < 1e-12
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}

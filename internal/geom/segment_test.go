@@ -1,0 +1,101 @@
+package geom
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSegmentIntersects(t *testing.T) {
+	tests := []struct {
+		name string
+		s, u Segment
+		want bool
+	}{
+		{"crossing X", Segment{Point{0, 0}, Point{2, 2}}, Segment{Point{0, 2}, Point{2, 0}}, true},
+		{"parallel", Segment{Point{0, 0}, Point{2, 0}}, Segment{Point{0, 1}, Point{2, 1}}, false},
+		{"collinear overlap", Segment{Point{0, 0}, Point{2, 0}}, Segment{Point{1, 0}, Point{3, 0}}, true},
+		{"collinear disjoint", Segment{Point{0, 0}, Point{1, 0}}, Segment{Point{2, 0}, Point{3, 0}}, false},
+		{"T junction", Segment{Point{0, 0}, Point{2, 0}}, Segment{Point{1, 0}, Point{1, 2}}, true},
+		{"endpoint touch", Segment{Point{0, 0}, Point{1, 1}}, Segment{Point{1, 1}, Point{2, 0}}, true},
+		{"near miss", Segment{Point{0, 0}, Point{1, 1}}, Segment{Point{1.001, 1}, Point{2, 0}}, false},
+		{"disjoint far", Segment{Point{0, 0}, Point{1, 0}}, Segment{Point{5, 5}, Point{6, 6}}, false},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.s.Intersects(tc.u); got != tc.want {
+				t.Errorf("Intersects = %v, want %v", got, tc.want)
+			}
+			if got := tc.u.Intersects(tc.s); got != tc.want {
+				t.Errorf("Intersects not symmetric")
+			}
+		})
+	}
+}
+
+func TestSegmentIntersectsRect(t *testing.T) {
+	r := Rect{1, 1, 3, 3}
+	tests := []struct {
+		name string
+		s    Segment
+		want bool
+	}{
+		{"endpoint inside", Segment{Point{2, 2}, Point{5, 5}}, true},
+		{"both inside", Segment{Point{1.5, 1.5}, Point{2.5, 2.5}}, true},
+		{"crossing through", Segment{Point{0, 2}, Point{4, 2}}, true},
+		{"diagonal through", Segment{Point{0, 0}, Point{4, 4}}, true},
+		{"clipping corner", Segment{Point{0, 3.8}, Point{3.9, -0.1}}, true},
+		{"outside parallel", Segment{Point{0, 0}, Point{4, 0}}, false},
+		{"outside diagonal near", Segment{Point{0, 3.5}, Point{0.9, 4.5}}, false},
+		{"touching edge", Segment{Point{0, 1}, Point{4, 1}}, true},
+		{"touching corner", Segment{Point{0, 4}, Point{1, 3}}, true},
+		{"mbr overlap but miss", Segment{Point{0, 3.2}, Point{0.8, 4.2}}, false},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.s.IntersectsRect(r); got != tc.want {
+				t.Errorf("IntersectsRect(%v, %v) = %v, want %v", tc.s, r, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestSegmentDistToPoint(t *testing.T) {
+	s := Segment{Point{0, 0}, Point{4, 0}}
+	tests := []struct {
+		p    Point
+		want float64
+	}{
+		{Point{2, 3}, 3},  // perpendicular to interior
+		{Point{-3, 4}, 5}, // beyond A endpoint
+		{Point{7, 4}, 5},  // beyond B endpoint
+		{Point{2, 0}, 0},  // on the segment
+		{Point{4, 0}, 0},  // at endpoint
+	}
+	for _, tc := range tests {
+		if got := s.DistToPoint(tc.p); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("DistToPoint(%v) = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+	// Degenerate segment behaves like a point.
+	d := Segment{Point{1, 1}, Point{1, 1}}
+	if got := d.DistToPoint(Point{4, 5}); got != 5 {
+		t.Errorf("degenerate DistToPoint = %v, want 5", got)
+	}
+}
+
+func TestSegmentIntersectsDisk(t *testing.T) {
+	s := Segment{Point{0, 0}, Point{4, 0}}
+	if !s.IntersectsDisk(Point{2, 1}, 1) {
+		t.Error("disk touching segment should intersect")
+	}
+	if s.IntersectsDisk(Point{2, 2}, 1) {
+		t.Error("disk 2 away with radius 1 must not intersect")
+	}
+}
+
+func TestSegmentMBR(t *testing.T) {
+	s := Segment{Point{3, 1}, Point{0, 2}}
+	if got := s.MBR(); got != (Rect{0, 1, 3, 2}) {
+		t.Errorf("MBR = %v", got)
+	}
+}

@@ -1,0 +1,144 @@
+package grid
+
+import (
+	"testing"
+
+	"github.com/twolayer/twolayer/internal/geom"
+)
+
+func unit() geom.Rect { return geom.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1} }
+
+func TestNewPanics(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		fn   func()
+	}{
+		{"zero nx", func() { New(unit(), 0, 4) }},
+		{"negative ny", func() { New(unit(), 4, -1) }},
+		{"degenerate space", func() { New(geom.Rect{MinX: 1, MinY: 0, MaxX: 1, MaxY: 1}, 4, 4) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			tc.fn()
+		})
+	}
+}
+
+func TestTileExtents(t *testing.T) {
+	g := New(unit(), 4, 2)
+	if g.NumTiles() != 8 {
+		t.Fatalf("NumTiles = %d", g.NumTiles())
+	}
+	if got := g.Tile(0, 0); got != (geom.Rect{MinX: 0, MinY: 0, MaxX: 0.25, MaxY: 0.5}) {
+		t.Errorf("Tile(0,0) = %v", got)
+	}
+	if got := g.Tile(3, 1); got != (geom.Rect{MinX: 0.75, MinY: 0.5, MaxX: 1, MaxY: 1}) {
+		t.Errorf("Tile(3,1) = %v", got)
+	}
+	if g.CellW() != 0.25 || g.CellH() != 0.5 {
+		t.Errorf("cell sizes %v x %v", g.CellW(), g.CellH())
+	}
+}
+
+func TestTileIDRoundTrip(t *testing.T) {
+	g := New(unit(), 7, 5)
+	for iy := 0; iy < 5; iy++ {
+		for ixx := 0; ixx < 7; ixx++ {
+			id := g.TileID(ixx, iy)
+			gx, gy := g.TileCoords(id)
+			if gx != ixx || gy != iy {
+				t.Fatalf("TileCoords(TileID(%d,%d)) = (%d,%d)", ixx, iy, gx, gy)
+			}
+		}
+	}
+}
+
+func TestCellOf(t *testing.T) {
+	g := New(unit(), 4, 4)
+	tests := []struct {
+		p      geom.Point
+		ix, iy int
+	}{
+		{geom.Point{X: 0, Y: 0}, 0, 0},
+		{geom.Point{X: 0.1, Y: 0.1}, 0, 0},
+		{geom.Point{X: 0.25, Y: 0}, 1, 0}, // boundary goes to next tile
+		{geom.Point{X: 0.999, Y: 0.999}, 3, 3},
+		{geom.Point{X: 1, Y: 1}, 3, 3},  // max corner clamps to last tile
+		{geom.Point{X: -1, Y: 2}, 0, 3}, // out of space clamps
+	}
+	for _, tc := range tests {
+		gx, gy := g.CellOf(tc.p)
+		if gx != tc.ix || gy != tc.iy {
+			t.Errorf("CellOf(%v) = (%d,%d), want (%d,%d)", tc.p, gx, gy, tc.ix, tc.iy)
+		}
+	}
+}
+
+func TestCoverRect(t *testing.T) {
+	g := New(unit(), 4, 4)
+	tests := []struct {
+		r              geom.Rect
+		x0, y0, x1, y1 int
+	}{
+		{geom.Rect{MinX: 0.1, MinY: 0.1, MaxX: 0.2, MaxY: 0.2}, 0, 0, 0, 0},
+		{geom.Rect{MinX: 0.1, MinY: 0.1, MaxX: 0.6, MaxY: 0.6}, 0, 0, 2, 2},
+		{geom.Rect{MinX: -1, MinY: -1, MaxX: 2, MaxY: 2}, 0, 0, 3, 3},
+		{geom.Rect{MinX: 0.25, MinY: 0.5, MaxX: 0.25, MaxY: 0.5}, 1, 2, 1, 2},
+	}
+	for _, tc := range tests {
+		x0, y0, x1, y1 := g.CoverRect(tc.r)
+		if x0 != tc.x0 || y0 != tc.y0 || x1 != tc.x1 || y1 != tc.y1 {
+			t.Errorf("CoverRect(%v) = (%d,%d,%d,%d), want (%d,%d,%d,%d)",
+				tc.r, x0, y0, x1, y1, tc.x0, tc.y0, tc.x1, tc.y1)
+		}
+	}
+}
+
+// Every point of a tile's extent must map back to that tile or a direct
+// boundary neighbor, and tile extents must exactly partition the space.
+func TestTilePartitionInvariant(t *testing.T) {
+	g := New(geom.Rect{MinX: -3, MinY: 2, MaxX: 5, MaxY: 7}, 9, 6)
+	// Adjacent tiles share borders exactly.
+	for iy := 0; iy < g.NY; iy++ {
+		for ixx := 0; ixx+1 < g.NX; ixx++ {
+			a, b := g.Tile(ixx, iy), g.Tile(ixx+1, iy)
+			if a.MaxX != b.MinX {
+				t.Fatalf("x seam mismatch between (%d,%d) and (%d,%d): %v vs %v", ixx, iy, ixx+1, iy, a.MaxX, b.MinX)
+			}
+		}
+	}
+	for iy := 0; iy+1 < g.NY; iy++ {
+		a, b := g.Tile(0, iy), g.Tile(0, iy+1)
+		if a.MaxY != b.MinY {
+			t.Fatalf("y seam mismatch: %v vs %v", a.MaxY, b.MinY)
+		}
+	}
+	// Tile interiors map back to their own coordinates.
+	for iy := 0; iy < g.NY; iy++ {
+		for ixx := 0; ixx < g.NX; ixx++ {
+			c := g.Tile(ixx, iy).Center()
+			gx, gy := g.CellOf(c)
+			if gx != ixx || gy != iy {
+				t.Fatalf("center of (%d,%d) maps to (%d,%d)", ixx, iy, gx, gy)
+			}
+		}
+	}
+	// First and last tiles touch the space borders exactly.
+	if g.Tile(0, 0).MinX != g.Space.MinX || g.Tile(g.NX-1, 0).MaxX != g.Space.MaxX {
+		t.Error("x extremes do not meet the space borders")
+	}
+}
+
+func TestTileMin(t *testing.T) {
+	g := New(unit(), 10, 10)
+	for i := 0; i <= 10; i++ {
+		p := g.TileMin(i, i)
+		if p.X != g.Space.MinX+float64(i)*g.CellW() || p.Y != g.Space.MinY+float64(i)*g.CellH() {
+			t.Fatalf("TileMin(%d,%d) = %v", i, i, p)
+		}
+	}
+}

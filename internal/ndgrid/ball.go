@@ -1,0 +1,184 @@
+package ndgrid
+
+import (
+	"fmt"
+	"math"
+)
+
+// Ball queries generalize the paper's disk queries (Section IV-E) to m
+// dimensions. Class selection works as for windows — a class beginning
+// before the cell in a dimension is skipped when the previous cell in
+// that dimension also intersects the ball — and the residual duplicates
+// along the ball's curved boundary are resolved by a lexicographic owner
+// rule over the cell cover: an entry is reported only in the
+// lexicographically first cover cell of its replication block. The
+// prev-cell skip never skips the owner cell (an entry beginning before
+// its cell in dimension d has an earlier block cell in d; if that cell is
+// in the cover, a lexicographically smaller cover∩block cell exists), so
+// the two rules compose without losing results.
+
+// BallCount returns the number of boxes within distance radius of center.
+func (ix *Index) BallCount(center []float64, radius float64) (int, error) {
+	n := 0
+	err := ix.Ball(center, radius, func(Entry) { n++ })
+	return n, err
+}
+
+// Ball invokes fn exactly once for every entry whose box comes within
+// radius of center (minimum box-to-point Euclidean distance).
+func (ix *Index) Ball(center []float64, radius float64, fn func(e Entry)) error {
+	if len(center) != ix.dims {
+		return fmt.Errorf("ndgrid: %d-dim center for %d-dim index", len(center), ix.dims)
+	}
+	if radius < 0 || math.IsNaN(radius) {
+		return fmt.Errorf("ndgrid: invalid radius %v", radius)
+	}
+	for _, v := range center {
+		if math.IsNaN(v) {
+			return fmt.Errorf("ndgrid: NaN center coordinate")
+		}
+	}
+	r2 := radius * radius
+
+	// Cover range: cells of the ball's bounding box.
+	lo := make([]int, ix.dims)
+	hi := make([]int, ix.dims)
+	for d := 0; d < ix.dims; d++ {
+		lo[d] = ix.cellOf(d, center[d]-radius)
+		hi[d] = ix.cellOf(d, center[d]+radius)
+	}
+
+	// Membership: cells whose extents intersect the ball.
+	cover := make(map[uint64]bool)
+	odometer(lo, hi, func(coords []int) {
+		if ix.cellDistSq(coords, center) <= r2 {
+			cover[ix.tileKey(coords)] = true
+		}
+	})
+
+	var err error
+	prev := make([]int, ix.dims)
+	odometer(lo, hi, func(coords []int) {
+		if err != nil || !cover[ix.tileKey(coords)] {
+			return
+		}
+		t := ix.tiles[ix.tileKey(coords)]
+		if t == nil {
+			return
+		}
+		// Classes beginning before the cell in a dimension whose previous
+		// cell is also in the cover are duplicates there.
+		skipMask := uint32(0)
+		for d := 0; d < ix.dims; d++ {
+			if coords[d] > lo[d] {
+				copy(prev, coords)
+				prev[d]--
+				if cover[ix.tileKey(prev)] {
+					skipMask |= 1 << d
+				}
+			}
+		}
+		covered := ix.cellMaxDistSq(coords, center) <= r2
+		for mask := uint32(0); mask < uint32(len(t.classes)); mask++ {
+			if mask&skipMask != 0 {
+				continue
+			}
+			for i := range t.classes[mask] {
+				e := &t.classes[mask][i]
+				if !covered && ix.boxDistSq(e.Box, center) > r2 {
+					continue
+				}
+				if mask != 0 && !ix.ownsBallEntry(e.Box, coords, cover) {
+					continue
+				}
+				fn(*e)
+			}
+		}
+	})
+	return err
+}
+
+// cellDistSq returns the squared distance from the cell's extent to a
+// point; border cells extend to infinity (distance 0 contribution beyond
+// the space).
+func (ix *Index) cellDistSq(coords []int, p []float64) float64 {
+	sum := 0.0
+	for d, c := range coords {
+		cellMin := ix.space.Min[d] + float64(c)*ix.cellW[d]
+		cellMax := cellMin + ix.cellW[d]
+		if c == 0 {
+			cellMin = math.Inf(-1)
+		}
+		if c == ix.n-1 {
+			cellMax = math.Inf(1)
+		}
+		if p[d] < cellMin {
+			sum += (cellMin - p[d]) * (cellMin - p[d])
+		} else if p[d] > cellMax {
+			sum += (p[d] - cellMax) * (p[d] - cellMax)
+		}
+	}
+	return sum
+}
+
+// cellMaxDistSq returns the squared maximum distance from the cell's
+// extent to a point (infinite for border cells, which therefore never
+// count as fully covered).
+func (ix *Index) cellMaxDistSq(coords []int, p []float64) float64 {
+	sum := 0.0
+	for d, c := range coords {
+		if c == 0 || c == ix.n-1 {
+			return math.Inf(1)
+		}
+		cellMin := ix.space.Min[d] + float64(c)*ix.cellW[d]
+		cellMax := cellMin + ix.cellW[d]
+		lo := math.Abs(p[d] - cellMin)
+		hi := math.Abs(p[d] - cellMax)
+		m := math.Max(lo, hi)
+		sum += m * m
+	}
+	return sum
+}
+
+// boxDistSq is the squared minimum distance from a box to a point.
+func (ix *Index) boxDistSq(b MBB, p []float64) float64 {
+	sum := 0.0
+	for d := 0; d < ix.dims; d++ {
+		if p[d] < b.Min[d] {
+			sum += (b.Min[d] - p[d]) * (b.Min[d] - p[d])
+		} else if p[d] > b.Max[d] {
+			sum += (p[d] - b.Max[d]) * (p[d] - b.Max[d])
+		}
+	}
+	return sum
+}
+
+// ownsBallEntry reports whether the current cell is the lexicographically
+// first cover cell of the entry's replication block (odometer order).
+func (ix *Index) ownsBallEntry(b MBB, coords []int, cover map[uint64]bool) bool {
+	lo, hi := ix.cover(b)
+	owner := true
+	done := false
+	odometer(lo, hi, func(c []int) {
+		if done {
+			return
+		}
+		for d := range c {
+			if c[d] != coords[d] {
+				// c precedes coords in odometer order iff the first
+				// differing coordinate is smaller.
+				if c[d] < coords[d] {
+					if cover[ix.tileKey(c)] {
+						owner = false
+						done = true
+					}
+				} else {
+					done = true // past the current cell in odometer order
+				}
+				return
+			}
+		}
+		done = true // reached the current cell: no earlier cover cell found
+	})
+	return owner
+}

@@ -1,0 +1,120 @@
+package ndgrid
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func bruteBall(entries []Entry, center []float64, radius float64) map[uint32]bool {
+	r2 := radius * radius
+	out := map[uint32]bool{}
+	for _, e := range entries {
+		sum := 0.0
+		for d := range center {
+			if center[d] < e.Box.Min[d] {
+				sum += (e.Box.Min[d] - center[d]) * (e.Box.Min[d] - center[d])
+			} else if center[d] > e.Box.Max[d] {
+				sum += (center[d] - e.Box.Max[d]) * (center[d] - e.Box.Max[d])
+			}
+		}
+		if sum <= r2 {
+			out[e.ID] = true
+		}
+	}
+	return out
+}
+
+// TestBallMatchesBruteForce in 2-4 dimensions, across object sizes that
+// force replication over the ball's curved boundary.
+func TestBallMatchesBruteForce(t *testing.T) {
+	rnd := rand.New(rand.NewSource(221))
+	for _, m := range []int{2, 3, 4} {
+		for _, maxSide := range []float64{0.02, 0.3} {
+			entries := randEntries(rnd, m, 400, maxSide)
+			ix, err := Build(entries, Options{Space: unitSpace(m), Tiles: 6})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for q := 0; q < 40; q++ {
+				center := make([]float64, m)
+				for d := range center {
+					center[d] = rnd.Float64()*1.2 - 0.1
+				}
+				radius := rnd.Float64() * 0.4
+				want := bruteBall(entries, center, radius)
+				got := map[uint32]bool{}
+				dups := false
+				if err := ix.Ball(center, radius, func(e Entry) {
+					if got[e.ID] {
+						dups = true
+					}
+					got[e.ID] = true
+				}); err != nil {
+					t.Fatal(err)
+				}
+				if dups {
+					t.Fatalf("m=%d side=%g: duplicate ball results", m, maxSide)
+				}
+				if len(got) != len(want) {
+					t.Fatalf("m=%d side=%g: got %d, want %d", m, maxSide, len(got), len(want))
+				}
+				for id := range want {
+					if !got[id] {
+						t.Fatalf("m=%d: missing %d", m, id)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBallValidation rejects malformed inputs.
+func TestBallValidation(t *testing.T) {
+	ix, err := New(Options{Space: unitSpace(3), Tiles: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ix.BallCount([]float64{0.5, 0.5}, 0.1); err == nil {
+		t.Error("wrong-dim center must fail")
+	}
+	if _, err := ix.BallCount([]float64{0.5, 0.5, 0.5}, -1); err == nil {
+		t.Error("negative radius must fail")
+	}
+	if _, err := ix.BallCount([]float64{math.NaN(), 0.5, 0.5}, 0.1); err == nil {
+		t.Error("NaN center must fail")
+	}
+	if n, err := ix.BallCount([]float64{0.5, 0.5, 0.5}, 0.2); err != nil || n != 0 {
+		t.Errorf("empty index ball: n=%d err=%v", n, err)
+	}
+}
+
+// TestBallCoversWindowResults: a ball circumscribing a window finds at
+// least the window's results.
+func TestBallSupersetOfInscribedWindow(t *testing.T) {
+	rnd := rand.New(rand.NewSource(222))
+	entries := randEntries(rnd, 3, 500, 0.1)
+	ix, err := Build(entries, Options{Space: unitSpace(3), Tiles: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for q := 0; q < 30; q++ {
+		c := []float64{rnd.Float64(), rnd.Float64(), rnd.Float64()}
+		half := rnd.Float64() * 0.2
+		w := MBB{Min: make([]float64, 3), Max: make([]float64, 3)}
+		for d := 0; d < 3; d++ {
+			w.Min[d], w.Max[d] = c[d]-half, c[d]+half
+		}
+		wc, err := ix.WindowCount(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bc, err := ix.BallCount(c, half*math.Sqrt(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bc < wc {
+			t.Fatalf("circumscribed ball found %d < window's %d", bc, wc)
+		}
+	}
+}

@@ -1,0 +1,293 @@
+// Package ndgrid generalizes the two-layer partitioning to minimum
+// bounding boxes of arbitrary dimensionality m, as sketched in Section
+// IV-D of the paper: each tile's contents are divided into 2^m classes —
+// one per subset of dimensions in which the box begins before the tile —
+// and a window query skips, per tile, every class that begins before the
+// tile in a dimension where the query also does (the generalized Lemmas
+// 1-2). Lemmas 3-4 carry over: per surviving class and dimension, at
+// most one comparison per box is executed.
+//
+// The 2D specialization of this package is the core package; ndgrid
+// favors clarity over the last bit of performance (classes are indexed by
+// bitmask, tiles are visited with an odometer) and supports bulk build,
+// inserts and window queries, which is what the paper's extension
+// describes.
+package ndgrid
+
+import (
+	"fmt"
+)
+
+// MBB is an m-dimensional minimum bounding box. len(Min) == len(Max) == m
+// and Min[d] <= Max[d] for every dimension d.
+type MBB struct {
+	Min, Max []float64
+}
+
+// Dims returns the dimensionality.
+func (b MBB) Dims() int { return len(b.Min) }
+
+// Valid reports whether the box is well-formed.
+func (b MBB) Valid() bool {
+	if len(b.Min) != len(b.Max) || len(b.Min) == 0 {
+		return false
+	}
+	for d := range b.Min {
+		if !(b.Min[d] <= b.Max[d]) { // catches NaN
+			return false
+		}
+	}
+	return true
+}
+
+// Intersects reports whether two boxes share at least one point.
+func (b MBB) Intersects(o MBB) bool {
+	for d := range b.Min {
+		if b.Min[d] > o.Max[d] || o.Min[d] > b.Max[d] {
+			return false
+		}
+	}
+	return true
+}
+
+// Entry is an (MBB, id) pair.
+type Entry struct {
+	Box MBB
+	ID  uint32
+}
+
+// Options configure the index.
+type Options struct {
+	// Space is the indexed m-dimensional region (required).
+	Space MBB
+	// Tiles is the tile count per dimension (all dimensions equal).
+	// Default 16.
+	Tiles int
+}
+
+// Index is the m-dimensional two-layer grid.
+type Index struct {
+	dims  int
+	space MBB
+	n     int       // tiles per dimension
+	cellW []float64 // tile extent per dimension
+
+	// Sparse tile directory: m-dimensional grids are mostly empty.
+	tiles map[uint64]*tile
+	size  int
+}
+
+// tile holds 2^m secondary partitions; classes[mask] stores the boxes
+// whose "begins before the tile" dimension set equals mask (mask 0 is the
+// generalization of class A).
+type tile struct {
+	classes [][]Entry
+}
+
+// New creates an empty index.
+func New(opts Options) (*Index, error) {
+	if !opts.Space.Valid() {
+		return nil, fmt.Errorf("ndgrid: invalid space %v", opts.Space)
+	}
+	m := opts.Space.Dims()
+	if m > 20 {
+		return nil, fmt.Errorf("ndgrid: dimensionality %d too large (2^m classes)", m)
+	}
+	if opts.Tiles == 0 {
+		opts.Tiles = 16
+	}
+	if opts.Tiles < 1 {
+		return nil, fmt.Errorf("ndgrid: non-positive tile count %d", opts.Tiles)
+	}
+	ix := &Index{
+		dims:  m,
+		space: opts.Space,
+		n:     opts.Tiles,
+		cellW: make([]float64, m),
+		tiles: make(map[uint64]*tile),
+	}
+	for d := 0; d < m; d++ {
+		w := (opts.Space.Max[d] - opts.Space.Min[d]) / float64(opts.Tiles)
+		if w <= 0 {
+			return nil, fmt.Errorf("ndgrid: degenerate space in dimension %d", d)
+		}
+		ix.cellW[d] = w
+	}
+	return ix, nil
+}
+
+// Build constructs an index over entries.
+func Build(entries []Entry, opts Options) (*Index, error) {
+	ix, err := New(opts)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		if err := ix.Insert(e); err != nil {
+			return nil, err
+		}
+	}
+	return ix, nil
+}
+
+// Len returns the number of distinct objects.
+func (ix *Index) Len() int { return ix.size }
+
+// Dims returns the dimensionality.
+func (ix *Index) Dims() int { return ix.dims }
+
+// cellOf returns the clamped tile coordinate of v in dimension d.
+func (ix *Index) cellOf(d int, v float64) int {
+	c := int((v - ix.space.Min[d]) / ix.cellW[d])
+	if c < 0 {
+		return 0
+	}
+	if c >= ix.n {
+		return ix.n - 1
+	}
+	return c
+}
+
+// tileKey linearizes m tile coordinates into a map key.
+func (ix *Index) tileKey(coords []int) uint64 {
+	key := uint64(0)
+	for _, c := range coords {
+		key = key*uint64(ix.n) + uint64(c)
+	}
+	return key
+}
+
+// cover returns the per-dimension tile ranges of a box.
+func (ix *Index) cover(b MBB) (lo, hi []int) {
+	lo = make([]int, ix.dims)
+	hi = make([]int, ix.dims)
+	for d := 0; d < ix.dims; d++ {
+		lo[d] = ix.cellOf(d, b.Min[d])
+		hi[d] = ix.cellOf(d, b.Max[d])
+	}
+	return lo, hi
+}
+
+// odometer iterates the tile coordinates of the box [lo, hi], invoking fn
+// with the current coordinates (which fn must not retain).
+func odometer(lo, hi []int, fn func(coords []int)) {
+	coords := make([]int, len(lo))
+	copy(coords, lo)
+	for {
+		fn(coords)
+		d := len(coords) - 1
+		for d >= 0 {
+			coords[d]++
+			if coords[d] <= hi[d] {
+				break
+			}
+			coords[d] = lo[d]
+			d--
+		}
+		if d < 0 {
+			return
+		}
+	}
+}
+
+// Insert replicates the entry into every tile it intersects, classified
+// by the set of dimensions in which it begins before the tile.
+func (ix *Index) Insert(e Entry) error {
+	if !e.Box.Valid() || e.Box.Dims() != ix.dims {
+		return fmt.Errorf("ndgrid: entry %d has invalid %d-dim box", e.ID, e.Box.Dims())
+	}
+	lo, hi := ix.cover(e.Box)
+	odometer(lo, hi, func(coords []int) {
+		mask := uint32(0)
+		for d, c := range coords {
+			if c > lo[d] {
+				mask |= 1 << d // begins before this tile in dimension d
+			}
+		}
+		key := ix.tileKey(coords)
+		t := ix.tiles[key]
+		if t == nil {
+			t = &tile{classes: make([][]Entry, 1<<ix.dims)}
+			ix.tiles[key] = t
+		}
+		t.classes[mask] = append(t.classes[mask], e)
+	})
+	ix.size++
+	return nil
+}
+
+// Window invokes fn exactly once for every entry whose box intersects w.
+// The generalized class selection guarantees no duplicates without any
+// elimination step.
+func (ix *Index) Window(w MBB, fn func(e Entry)) error {
+	if !w.Valid() || w.Dims() != ix.dims {
+		return fmt.Errorf("ndgrid: invalid %d-dim window for %d-dim index", w.Dims(), ix.dims)
+	}
+	lo, hi := ix.cover(w)
+	needLow := make([]bool, ix.dims)  // test box.Min[d] <= w.Max[d]
+	needHigh := make([]bool, ix.dims) // test box.Max[d] >= w.Min[d]
+	odometer(lo, hi, func(coords []int) {
+		t := ix.tiles[ix.tileKey(coords)]
+		if t == nil {
+			return
+		}
+		// skipMask bit d: the window begins before this tile in d, so
+		// classes beginning before the tile in d are duplicates.
+		skipMask := uint32(0)
+		for d, c := range coords {
+			if c > lo[d] {
+				skipMask |= 1 << d
+			}
+			tileMin := ix.space.Min[d] + float64(c)*ix.cellW[d]
+			tileMax := tileMin + ix.cellW[d]
+			// Border tiles extend to infinity, absorbing out-of-space
+			// boxes and windows, so their comparisons always run.
+			needHigh[d] = w.Min[d] > tileMin || c == 0
+			needLow[d] = w.Max[d] < tileMax || c == ix.n-1
+		}
+		for mask := uint32(0); mask < uint32(len(t.classes)); mask++ {
+			if mask&skipMask != 0 || len(t.classes[mask]) == 0 {
+				continue
+			}
+			ix.scanClass(t.classes[mask], mask, w, needLow, needHigh, fn)
+		}
+	})
+	return nil
+}
+
+// scanClass tests one secondary partition against the window. For a class
+// beginning before the tile in dimension d, the low-side test in d is
+// implied (the box starts before a tile the window reaches).
+func (ix *Index) scanClass(entries []Entry, mask uint32, w MBB, needLow, needHigh []bool, fn func(Entry)) {
+entry:
+	for i := range entries {
+		e := &entries[i]
+		for d := 0; d < ix.dims; d++ {
+			if needHigh[d] && e.Box.Max[d] < w.Min[d] {
+				continue entry
+			}
+			if needLow[d] && mask&(1<<d) == 0 && e.Box.Min[d] > w.Max[d] {
+				continue entry
+			}
+		}
+		fn(*e)
+	}
+}
+
+// WindowCount returns the number of boxes intersecting w.
+func (ix *Index) WindowCount(w MBB) (int, error) {
+	n := 0
+	err := ix.Window(w, func(Entry) { n++ })
+	return n, err
+}
+
+// ClassCounts returns the number of stored entries per class mask.
+func (ix *Index) ClassCounts() []int {
+	out := make([]int, 1<<ix.dims)
+	for _, t := range ix.tiles {
+		for mask, entries := range t.classes {
+			out[mask] += len(entries)
+		}
+	}
+	return out
+}

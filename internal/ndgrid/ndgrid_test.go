@@ -1,0 +1,199 @@
+package ndgrid
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// unitSpace returns the m-dimensional unit cube.
+func unitSpace(m int) MBB {
+	b := MBB{Min: make([]float64, m), Max: make([]float64, m)}
+	for d := 0; d < m; d++ {
+		b.Max[d] = 1
+	}
+	return b
+}
+
+// randBox draws a random box with sides up to maxSide, possibly sticking
+// out of the unit cube.
+func randBox(rnd *rand.Rand, m int, maxSide float64) MBB {
+	b := MBB{Min: make([]float64, m), Max: make([]float64, m)}
+	for d := 0; d < m; d++ {
+		b.Min[d] = rnd.Float64()
+		b.Max[d] = b.Min[d] + rnd.Float64()*maxSide
+	}
+	return b
+}
+
+func randEntries(rnd *rand.Rand, m, n int, maxSide float64) []Entry {
+	out := make([]Entry, n)
+	for i := range out {
+		out[i] = Entry{Box: randBox(rnd, m, maxSide), ID: uint32(i)}
+	}
+	return out
+}
+
+func bruteWindow(entries []Entry, w MBB) map[uint32]bool {
+	out := map[uint32]bool{}
+	for _, e := range entries {
+		if e.Box.Intersects(w) {
+			out[e.ID] = true
+		}
+	}
+	return out
+}
+
+// TestWindowMatchesBruteForce in 2, 3 and 4 dimensions.
+func TestWindowMatchesBruteForce(t *testing.T) {
+	rnd := rand.New(rand.NewSource(151))
+	for _, m := range []int{2, 3, 4} {
+		for _, tiles := range []int{1, 4, 8} {
+			entries := randEntries(rnd, m, 400, 0.2)
+			ix, err := Build(entries, Options{Space: unitSpace(m), Tiles: tiles})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ix.Len() != 400 || ix.Dims() != m {
+				t.Fatalf("Len/Dims wrong")
+			}
+			for q := 0; q < 40; q++ {
+				w := randBox(rnd, m, 0.4)
+				want := bruteWindow(entries, w)
+				got := map[uint32]bool{}
+				dups := false
+				err := ix.Window(w, func(e Entry) {
+					if got[e.ID] {
+						dups = true
+					}
+					got[e.ID] = true
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if dups {
+					t.Fatalf("m=%d tiles=%d: duplicate results", m, tiles)
+				}
+				if len(got) != len(want) {
+					t.Fatalf("m=%d tiles=%d: got %d, want %d", m, tiles, len(got), len(want))
+				}
+				for id := range want {
+					if !got[id] {
+						t.Fatalf("m=%d: missing %d", m, id)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestClassZeroExactlyOnce: the generalization of "class A appears once".
+func TestClassZeroExactlyOnce(t *testing.T) {
+	rnd := rand.New(rand.NewSource(152))
+	entries := randEntries(rnd, 3, 300, 0.3)
+	ix, err := Build(entries, Options{Space: unitSpace(3), Tiles: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := ix.ClassCounts()
+	if len(counts) != 8 {
+		t.Fatalf("3-dim index must have 8 classes, got %d", len(counts))
+	}
+	if counts[0] != 300 {
+		t.Errorf("class 0 holds %d entries, want one per object (300)", counts[0])
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total < 300 {
+		t.Errorf("total stored %d < 300", total)
+	}
+}
+
+// TestValidation of constructor and inputs.
+func TestValidation(t *testing.T) {
+	if _, err := New(Options{Space: MBB{}}); err == nil {
+		t.Error("empty space must fail")
+	}
+	if _, err := New(Options{Space: MBB{Min: []float64{0, 0}, Max: []float64{1}}}); err == nil {
+		t.Error("mismatched dims must fail")
+	}
+	if _, err := New(Options{Space: MBB{Min: []float64{0, 0}, Max: []float64{0, 1}}}); err == nil {
+		t.Error("degenerate space must fail")
+	}
+	if _, err := New(Options{Space: unitSpace(2), Tiles: -3}); err == nil {
+		t.Error("negative tiles must fail")
+	}
+	if _, err := New(Options{Space: unitSpace(21)}); err == nil {
+		t.Error("m=21 must fail (2^m classes)")
+	}
+
+	ix, err := New(Options{Space: unitSpace(2), Tiles: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Insert(Entry{Box: MBB{Min: []float64{0}, Max: []float64{1}}}); err == nil {
+		t.Error("wrong-dim insert must fail")
+	}
+	if err := ix.Insert(Entry{Box: MBB{Min: []float64{0.5, 0.5}, Max: []float64{0.4, 0.6}}}); err == nil {
+		t.Error("inverted box must fail")
+	}
+	if _, err := ix.WindowCount(MBB{Min: []float64{0}, Max: []float64{1}}); err == nil {
+		t.Error("wrong-dim window must fail")
+	}
+}
+
+// TestMBBPredicates.
+func TestMBBPredicates(t *testing.T) {
+	a := MBB{Min: []float64{0, 0, 0}, Max: []float64{1, 1, 1}}
+	b := MBB{Min: []float64{1, 0.5, 0.5}, Max: []float64{2, 2, 2}}
+	if !a.Intersects(b) {
+		t.Error("touching boxes must intersect")
+	}
+	c := MBB{Min: []float64{1.1, 0, 0}, Max: []float64{2, 1, 1}}
+	if a.Intersects(c) {
+		t.Error("disjoint boxes must not intersect")
+	}
+	if !a.Valid() || (MBB{}).Valid() {
+		t.Error("Valid wrong")
+	}
+}
+
+// TestOdometer covers the iteration helper.
+func TestOdometer(t *testing.T) {
+	var visited [][]int
+	odometer([]int{0, 1}, []int{1, 2}, func(c []int) {
+		cp := make([]int, len(c))
+		copy(cp, c)
+		visited = append(visited, cp)
+	})
+	if len(visited) != 4 {
+		t.Fatalf("visited %d coords, want 4", len(visited))
+	}
+}
+
+// TestQuickNDEquivalence: property-based equivalence in random dims.
+func TestQuickNDEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		rnd := rand.New(rand.NewSource(seed))
+		m := 2 + rnd.Intn(3)
+		entries := randEntries(rnd, m, 50+rnd.Intn(150), 0.3)
+		ix, err := Build(entries, Options{Space: unitSpace(m), Tiles: 1 + rnd.Intn(8)})
+		if err != nil {
+			return false
+		}
+		for q := 0; q < 5; q++ {
+			w := randBox(rnd, m, 0.5)
+			want := bruteWindow(entries, w)
+			n, err := ix.WindowCount(w)
+			if err != nil || n != len(want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,423 @@
+// Package onelayer implements the 1-layer baseline of the paper: a
+// regular grid index with object replication and a duplicate-elimination
+// technique (reference point by default). The primary partitioning is
+// identical to the two-layer index's; only the secondary layer is absent,
+// so comparing the two isolates the benefit of the paper's contribution.
+//
+// The index applies the comparison-reduction techniques of Section IV-B
+// (tiles covered by the window in a dimension skip the tests in that
+// dimension), as the paper states its 1-layer competitor does — the gap
+// to 2-layer is therefore due to duplicate handling alone.
+package onelayer
+
+import (
+	"math"
+
+	"github.com/twolayer/twolayer/internal/dedup"
+	"github.com/twolayer/twolayer/internal/geom"
+	"github.com/twolayer/twolayer/internal/grid"
+	"github.com/twolayer/twolayer/internal/spatial"
+)
+
+// DedupMode selects the duplicate-elimination technique.
+type DedupMode int
+
+const (
+	// RefPoint is the reference point technique of Dittrich and Seeger,
+	// the state of the art used by big spatial data systems.
+	RefPoint DedupMode = iota
+	// HashDedup eliminates duplicates with a per-query hash table.
+	HashDedup
+	// ActiveBorderDedup processes tiles in row-major order and keeps only
+	// the active border of the result set in the hash table.
+	ActiveBorderDedup
+)
+
+// String implements fmt.Stringer.
+func (m DedupMode) String() string {
+	switch m {
+	case RefPoint:
+		return "refpoint"
+	case HashDedup:
+		return "hash"
+	case ActiveBorderDedup:
+		return "active-border"
+	}
+	return "dedup(?)"
+}
+
+// Options configure the index.
+type Options struct {
+	// NX, NY are tiles per dimension (default 256).
+	NX, NY int
+	// Space is the indexed region (default: unit square for New, dataset
+	// MBR for Build).
+	Space geom.Rect
+	// Dedup selects the duplicate elimination technique (default
+	// RefPoint).
+	Dedup DedupMode
+}
+
+// Index is a grid with one flat entry list per tile.
+type Index struct {
+	g     *grid.Grid
+	dedup DedupMode
+
+	dense []int32
+	tiles [][]spatial.Entry
+
+	size int
+
+	// Stats mirrors a subset of the two-layer counters so experiments can
+	// contrast the work done. Not safe for concurrent queries when set.
+	Stats *Stats
+}
+
+// Stats counts work during query evaluation.
+type Stats struct {
+	TilesVisited    int64
+	EntriesScanned  int64
+	Comparisons     int64
+	DuplicateChecks int64 // reference point computations / hash probes
+	DuplicatesSeen  int64 // results rediscovered and discarded
+	Results         int64
+}
+
+// Reset zeroes all counters.
+func (s *Stats) Reset() { *s = Stats{} }
+
+// New returns an empty 1-layer grid index.
+func New(opts Options) *Index {
+	if opts.NX == 0 {
+		opts.NX = 256
+	}
+	if opts.NY == 0 {
+		opts.NY = 256
+	}
+	if opts.Space == (geom.Rect{}) {
+		opts.Space = geom.Rect{MaxX: 1, MaxY: 1}
+	}
+	ix := &Index{
+		g:     grid.New(opts.Space, opts.NX, opts.NY),
+		dedup: opts.Dedup,
+		dense: make([]int32, opts.NX*opts.NY),
+	}
+	for i := range ix.dense {
+		ix.dense[i] = -1
+	}
+	return ix
+}
+
+// Build constructs the index over a dataset.
+func Build(d *spatial.Dataset, opts Options) *Index {
+	if opts.Space == (geom.Rect{}) {
+		opts.Space = d.MBR()
+	}
+	ix := New(opts)
+	for _, e := range d.Entries {
+		ix.Insert(e)
+	}
+	return ix
+}
+
+// Grid exposes the primary partitioning.
+func (ix *Index) Grid() *grid.Grid { return ix.g }
+
+// Len returns the number of distinct objects.
+func (ix *Index) Len() int { return ix.size }
+
+// Insert replicates e into every tile its MBR intersects.
+func (ix *Index) Insert(e spatial.Entry) {
+	ax, ay, bx, by := ix.g.CoverRect(e.Rect)
+	for ty := ay; ty <= by; ty++ {
+		for tx := ax; tx <= bx; tx++ {
+			id := int32(ix.g.TileID(tx, ty))
+			slot := ix.dense[id]
+			if slot < 0 {
+				ix.tiles = append(ix.tiles, nil)
+				slot = int32(len(ix.tiles) - 1)
+				ix.dense[id] = slot
+			}
+			ix.tiles[slot] = append(ix.tiles[slot], e)
+		}
+	}
+	ix.size++
+}
+
+// Delete removes the object with the given id and exact MBR, reporting
+// whether it was found.
+func (ix *Index) Delete(id spatial.ID, r geom.Rect) bool {
+	ax, ay, bx, by := ix.g.CoverRect(r)
+	found := false
+	for ty := ay; ty <= by; ty++ {
+		for tx := ax; tx <= bx; tx++ {
+			slot := ix.dense[ix.g.TileID(tx, ty)]
+			if slot < 0 {
+				continue
+			}
+			list := ix.tiles[slot]
+			for i := range list {
+				if list[i].ID == id {
+					list[i] = list[len(list)-1]
+					ix.tiles[slot] = list[:len(list)-1]
+					found = true
+					break
+				}
+			}
+		}
+	}
+	if found {
+		ix.size--
+	}
+	return found
+}
+
+// effectiveTile mirrors the two-layer index: border tiles extend to
+// infinity so out-of-space objects and queries behave correctly.
+func (ix *Index) effectiveTile(tx, ty int) geom.Rect {
+	r := ix.g.Tile(tx, ty)
+	if tx == 0 {
+		r.MinX = math.Inf(-1)
+	}
+	if tx == ix.g.NX-1 {
+		r.MaxX = math.Inf(1)
+	}
+	if ty == 0 {
+		r.MinY = math.Inf(-1)
+	}
+	if ty == ix.g.NY-1 {
+		r.MaxY = math.Inf(1)
+	}
+	return r
+}
+
+// ownerTile returns the tile coordinates owning the reference point of
+// r ∩ w, using the same point-location arithmetic as replication so the
+// owner is exactly one of the replica tiles.
+func (ix *Index) ownerTile(r, w geom.Rect) (int, int) {
+	return ix.g.CellOf(dedup.RefPoint(r, w))
+}
+
+// Window runs the filtering step of a window query, reporting every
+// intersecting MBR exactly once (after duplicate elimination).
+func (ix *Index) Window(w geom.Rect, fn func(e spatial.Entry)) {
+	if !w.Valid() {
+		return
+	}
+	switch ix.dedup {
+	case HashDedup:
+		ix.windowHash(w, fn)
+	case ActiveBorderDedup:
+		ix.windowActiveBorder(w, fn)
+	default:
+		ix.windowRefPoint(w, fn)
+	}
+}
+
+// WindowIDs collects result IDs into buf.
+func (ix *Index) WindowIDs(w geom.Rect, buf []spatial.ID) []spatial.ID {
+	buf = buf[:0]
+	ix.Window(w, func(e spatial.Entry) { buf = append(buf, e.ID) })
+	return buf
+}
+
+// WindowCount returns the number of MBRs intersecting w.
+func (ix *Index) WindowCount(w geom.Rect) int {
+	n := 0
+	ix.Window(w, func(spatial.Entry) { n++ })
+	return n
+}
+
+// scanTile applies the Section IV-B reduced comparison set to one tile and
+// passes survivors to emit.
+func (ix *Index) scanTile(tx, ty int, w geom.Rect, emit func(*spatial.Entry)) {
+	slot := ix.dense[ix.g.TileID(tx, ty)]
+	if slot < 0 {
+		return
+	}
+	entries := ix.tiles[slot]
+	t := ix.effectiveTile(tx, ty)
+	needXL := w.MaxX < t.MaxX
+	needXU := w.MinX > t.MinX
+	needYL := w.MaxY < t.MaxY
+	needYU := w.MinY > t.MinY
+	s := ix.Stats
+	if s != nil {
+		s.TilesVisited++
+		s.EntriesScanned += int64(len(entries))
+	}
+	for i := range entries {
+		e := &entries[i]
+		if needXU {
+			if s != nil {
+				s.Comparisons++
+			}
+			if e.Rect.MaxX < w.MinX {
+				continue
+			}
+		}
+		if needXL {
+			if s != nil {
+				s.Comparisons++
+			}
+			if e.Rect.MinX > w.MaxX {
+				continue
+			}
+		}
+		if needYU {
+			if s != nil {
+				s.Comparisons++
+			}
+			if e.Rect.MaxY < w.MinY {
+				continue
+			}
+		}
+		if needYL {
+			if s != nil {
+				s.Comparisons++
+			}
+			if e.Rect.MinY > w.MaxY {
+				continue
+			}
+		}
+		emit(e)
+	}
+}
+
+func (ix *Index) windowRefPoint(w geom.Rect, fn func(spatial.Entry)) {
+	ix0, iy0, ix1, iy1 := ix.g.CoverRect(w)
+	s := ix.Stats
+	for ty := iy0; ty <= iy1; ty++ {
+		for tx := ix0; tx <= ix1; tx++ {
+			ctx, cty := tx, ty
+			ix.scanTile(tx, ty, w, func(e *spatial.Entry) {
+				if s != nil {
+					s.DuplicateChecks++
+				}
+				ox, oy := ix.ownerTile(e.Rect, w)
+				if ox != ctx || oy != cty {
+					if s != nil {
+						s.DuplicatesSeen++
+					}
+					return
+				}
+				if s != nil {
+					s.Results++
+				}
+				fn(*e)
+			})
+		}
+	}
+}
+
+func (ix *Index) windowHash(w geom.Rect, fn func(spatial.Entry)) {
+	ix0, iy0, ix1, iy1 := ix.g.CoverRect(w)
+	h := dedup.NewHash()
+	s := ix.Stats
+	for ty := iy0; ty <= iy1; ty++ {
+		for tx := ix0; tx <= ix1; tx++ {
+			ix.scanTile(tx, ty, w, func(e *spatial.Entry) {
+				if s != nil {
+					s.DuplicateChecks++
+				}
+				if !h.FirstTime(e.ID) {
+					if s != nil {
+						s.DuplicatesSeen++
+					}
+					return
+				}
+				if s != nil {
+					s.Results++
+				}
+				fn(*e)
+			})
+		}
+	}
+}
+
+func (ix *Index) windowActiveBorder(w geom.Rect, fn func(spatial.Entry)) {
+	ix0, iy0, ix1, iy1 := ix.g.CoverRect(w)
+	ab := dedup.NewActiveBorder()
+	s := ix.Stats
+	width := ix1 - ix0 + 1
+	for ty := iy0; ty <= iy1; ty++ {
+		for tx := ix0; tx <= ix1; tx++ {
+			// Row-major order index of this tile within the query range.
+			pos := (ty-iy0)*width + (tx - ix0)
+			ab.Advance(pos)
+			ix.scanTile(tx, ty, w, func(e *spatial.Entry) {
+				if s != nil {
+					s.DuplicateChecks++
+				}
+				// Last replica of e within the query range, row-major.
+				_, _, bx, by := ix.g.CoverRect(e.Rect)
+				if bx > ix1 {
+					bx = ix1
+				}
+				if by > iy1 {
+					by = iy1
+				}
+				last := (by-iy0)*width + (bx - ix0)
+				if !ab.FirstTime(e.ID, last) {
+					if s != nil {
+						s.DuplicatesSeen++
+					}
+					return
+				}
+				if s != nil {
+					s.Results++
+				}
+				fn(*e)
+			})
+		}
+	}
+}
+
+// Disk evaluates a disk range query as the paper does for the 1-layer
+// baseline: a window query on the disk's MBR with duplicate elimination,
+// reporting results in tiles fully inside the disk directly and distance
+// verifying the rest.
+func (ix *Index) Disk(center geom.Point, radius float64, fn func(e spatial.Entry)) {
+	if radius < 0 {
+		return
+	}
+	mbr := geom.Disk{Center: center, Radius: radius}.MBR()
+	r2 := radius * radius
+	ix.Window(mbr, func(e spatial.Entry) {
+		ox, oy := ix.ownerTile(e.Rect, mbr)
+		if ix.effectiveTile(ox, oy).InsideDisk(center, radius) {
+			fn(e)
+			return
+		}
+		if ix.Stats != nil {
+			ix.Stats.DuplicateChecks++ // distance verification
+		}
+		if e.Rect.DistSqToPoint(center) <= r2 {
+			fn(e)
+		}
+	})
+}
+
+// DiskIDs collects disk query result IDs into buf.
+func (ix *Index) DiskIDs(center geom.Point, radius float64, buf []spatial.ID) []spatial.ID {
+	buf = buf[:0]
+	ix.Disk(center, radius, func(e spatial.Entry) { buf = append(buf, e.ID) })
+	return buf
+}
+
+// DiskCount returns the number of MBRs intersecting the disk.
+func (ix *Index) DiskCount(center geom.Point, radius float64) int {
+	n := 0
+	ix.Disk(center, radius, func(spatial.Entry) { n++ })
+	return n
+}
+
+// MemoryFootprint approximates entry storage bytes.
+func (ix *Index) MemoryFootprint() int {
+	const entryBytes = 40
+	total := 4 * len(ix.dense)
+	for _, t := range ix.tiles {
+		total += entryBytes * len(t)
+	}
+	return total
+}

@@ -1,0 +1,142 @@
+package onelayer
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"github.com/twolayer/twolayer/internal/geom"
+	"github.com/twolayer/twolayer/internal/spatial"
+)
+
+func randRects(rnd *rand.Rand, n int, maxSide float64) []geom.Rect {
+	rects := make([]geom.Rect, n)
+	for i := range rects {
+		x, y := rnd.Float64(), rnd.Float64()
+		rects[i] = geom.Rect{MinX: x, MinY: y, MaxX: x + rnd.Float64()*maxSide, MaxY: y + rnd.Float64()*maxSide}
+	}
+	return rects
+}
+
+func randWindow(rnd *rand.Rand, maxSide float64) geom.Rect {
+	x := rnd.Float64()*1.2 - 0.1
+	y := rnd.Float64()*1.2 - 0.1
+	return geom.Rect{MinX: x, MinY: y, MaxX: x + rnd.Float64()*maxSide, MaxY: y + rnd.Float64()*maxSide}
+}
+
+func sameIDs(t *testing.T, got, want []spatial.ID, context string) {
+	t.Helper()
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	if len(got) != len(want) {
+		t.Fatalf("%s: got %d results, want %d", context, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: result %d = %d, want %d", context, i, got[i], want[i])
+		}
+	}
+}
+
+// TestWindowAllDedupModes: all three duplicate elimination techniques must
+// agree with brute force, duplicate-free.
+func TestWindowAllDedupModes(t *testing.T) {
+	rnd := rand.New(rand.NewSource(81))
+	for _, mode := range []DedupMode{RefPoint, HashDedup, ActiveBorderDedup} {
+		for _, gridSize := range []int{1, 8, 32} {
+			rects := randRects(rnd, 500, 0.1)
+			d := spatial.NewDataset(rects)
+			ix := Build(d, Options{NX: gridSize, NY: gridSize, Dedup: mode})
+			for q := 0; q < 50; q++ {
+				w := randWindow(rnd, 0.35)
+				got := ix.WindowIDs(w, nil)
+				seen := map[spatial.ID]bool{}
+				for _, id := range got {
+					if seen[id] {
+						t.Fatalf("%v: duplicate %d", mode, id)
+					}
+					seen[id] = true
+				}
+				sameIDs(t, got, spatial.BruteWindow(d.Entries, w), mode.String())
+			}
+		}
+	}
+}
+
+// TestDiskMatchesBruteForce for the 1-layer MBR-window evaluation plan.
+func TestDiskMatchesBruteForce(t *testing.T) {
+	rnd := rand.New(rand.NewSource(82))
+	d := spatial.NewDataset(randRects(rnd, 600, 0.08))
+	ix := Build(d, Options{NX: 16, NY: 16})
+	for q := 0; q < 80; q++ {
+		c := geom.Point{X: rnd.Float64()*1.2 - 0.1, Y: rnd.Float64()*1.2 - 0.1}
+		radius := rnd.Float64() * 0.3
+		sameIDs(t, ix.DiskIDs(c, radius, nil), spatial.BruteDisk(d.Entries, c, radius), "disk")
+	}
+}
+
+// TestDuplicatesAreGeneratedThenEliminated: the defining behaviour the
+// two-layer index removes — the 1-layer index must actually rediscover
+// replicated results before discarding them.
+func TestDuplicatesAreGeneratedThenEliminated(t *testing.T) {
+	rnd := rand.New(rand.NewSource(83))
+	d := spatial.NewDataset(randRects(rnd, 500, 0.25)) // large objects → heavy replication
+	ix := Build(d, Options{NX: 32, NY: 32})
+	ix.Stats = &Stats{}
+	ix.WindowCount(geom.Rect{MinX: 0.1, MinY: 0.1, MaxX: 0.9, MaxY: 0.9})
+	if ix.Stats.DuplicatesSeen == 0 {
+		t.Error("expected replicated results to be rediscovered")
+	}
+	if ix.Stats.DuplicateChecks <= ix.Stats.Results {
+		t.Error("expected more duplicate checks than results")
+	}
+}
+
+// TestInsertDelete: update operations keep the index consistent.
+func TestInsertDelete(t *testing.T) {
+	rnd := rand.New(rand.NewSource(84))
+	rects := randRects(rnd, 300, 0.1)
+	space := geom.Rect{MaxX: 1.2, MaxY: 1.2}
+	ix := New(Options{NX: 8, NY: 8, Space: space})
+	for i, r := range rects {
+		ix.Insert(spatial.Entry{Rect: r, ID: spatial.ID(i)})
+	}
+	if ix.Len() != len(rects) {
+		t.Fatalf("Len = %d", ix.Len())
+	}
+	remaining := []spatial.Entry{}
+	for i, r := range rects {
+		if i%2 == 0 {
+			if !ix.Delete(spatial.ID(i), r) {
+				t.Fatalf("Delete(%d) not found", i)
+			}
+		} else {
+			remaining = append(remaining, spatial.Entry{Rect: r, ID: spatial.ID(i)})
+		}
+	}
+	for q := 0; q < 40; q++ {
+		w := randWindow(rnd, 0.4)
+		sameIDs(t, ix.WindowIDs(w, nil), spatial.BruteWindow(remaining, w), "after delete")
+	}
+	if ix.Delete(9999, rects[0]) {
+		t.Error("deleting absent id succeeded")
+	}
+}
+
+// TestDedupModeString covers the Stringer.
+func TestDedupModeString(t *testing.T) {
+	if RefPoint.String() != "refpoint" || HashDedup.String() != "hash" ||
+		ActiveBorderDedup.String() != "active-border" || DedupMode(9).String() != "dedup(?)" {
+		t.Error("DedupMode.String wrong")
+	}
+}
+
+// TestMemoryFootprint sanity.
+func TestMemoryFootprint(t *testing.T) {
+	rnd := rand.New(rand.NewSource(85))
+	d := spatial.NewDataset(randRects(rnd, 100, 0.1))
+	ix := Build(d, Options{NX: 8, NY: 8})
+	if ix.MemoryFootprint() <= 0 {
+		t.Error("footprint must be positive")
+	}
+}

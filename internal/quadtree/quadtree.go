@@ -1,0 +1,564 @@
+// Package quadtree implements the quad-tree baselines of the paper:
+//
+//   - a replicating quad-tree (objects copied into every quadrant they
+//     intersect) using the reference point technique for duplicate
+//     elimination — the paper's SOP competitor,
+//   - the same quad-tree equipped with the paper's two-layer secondary
+//     partitioning instead of deduplication (Table V shows any SOP index
+//     can benefit),
+//   - the MXCIF quad-tree of Kedem, which stores each object in the
+//     lowest quadrant that fully contains it (no replication, but large
+//     objects pile up near the root).
+//
+// Quadrants are half-open (an object touching only the shared border of
+// two quadrants is assigned to the greater one), which makes duplicate
+// ownership exact.
+package quadtree
+
+import (
+	"github.com/twolayer/twolayer/internal/dedup"
+	"github.com/twolayer/twolayer/internal/geom"
+	"github.com/twolayer/twolayer/internal/spatial"
+)
+
+// Mode selects the quad-tree variant.
+type Mode int
+
+const (
+	// RefPointDedup replicates objects and eliminates duplicate results
+	// with the reference point technique.
+	RefPointDedup Mode = iota
+	// TwoLayer replicates objects and partitions each leaf into the four
+	// classes of the paper, avoiding duplicates instead of eliminating
+	// them.
+	TwoLayer
+	// MXCIF stores each object once, in the lowest quadrant covering it.
+	MXCIF
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case RefPointDedup:
+		return "quad-refpoint"
+	case TwoLayer:
+		return "quad-2layer"
+	case MXCIF:
+		return "mxcif"
+	}
+	return "quad(?)"
+}
+
+// Options configure the tree. The defaults (capacity 1000, max depth 12)
+// are the paper's tuned values.
+type Options struct {
+	Space    geom.Rect
+	Capacity int
+	MaxDepth int
+	Mode     Mode
+}
+
+func (o Options) withDefaults() Options {
+	if o.Space == (geom.Rect{}) {
+		o.Space = geom.Rect{MaxX: 1, MaxY: 1}
+	}
+	if o.Capacity == 0 {
+		o.Capacity = 1000
+	}
+	if o.MaxDepth == 0 {
+		o.MaxDepth = 12
+	}
+	return o
+}
+
+// node is one quadrant. Replicating variants store entries at leaves
+// only; MXCIF stores entries at any node.
+type node struct {
+	bounds   geom.Rect
+	children *[4]*node
+	entries  []spatial.Entry
+	classes  *[4][]spatial.Entry // TwoLayer leaves only
+}
+
+// Index is a quad-tree over non-point objects.
+type Index struct {
+	opts Options
+	root *node
+	size int
+}
+
+// New returns an empty quad-tree.
+func New(opts Options) *Index {
+	opts = opts.withDefaults()
+	return &Index{opts: opts, root: &node{bounds: opts.Space}}
+}
+
+// Build constructs the tree over a dataset.
+func Build(d *spatial.Dataset, opts Options) *Index {
+	if opts.Space == (geom.Rect{}) {
+		opts.Space = d.MBR()
+	}
+	ix := New(opts)
+	for _, e := range d.Entries {
+		ix.Insert(e)
+	}
+	return ix
+}
+
+// Len returns the number of distinct objects.
+func (ix *Index) Len() int { return ix.size }
+
+// Mode returns the configured variant.
+func (ix *Index) Mode() Mode { return ix.opts.Mode }
+
+// halfOpenIntersects reports whether rect r overlaps quadrant q under the
+// half-open convention: quadrants own their minimum borders; the maximum
+// borders belong to the next quadrant, except at the edge of the indexed
+// space where the quadrant is closed.
+func (ix *Index) halfOpenIntersects(r, q geom.Rect) bool {
+	if r.MaxX < q.MinX || r.MaxY < q.MinY {
+		return false
+	}
+	if r.MinX >= q.MaxX && q.MaxX != ix.opts.Space.MaxX {
+		return false
+	}
+	if r.MinY >= q.MaxY && q.MaxY != ix.opts.Space.MaxY {
+		return false
+	}
+	return true
+}
+
+// containsHalfOpen reports whether point p lies in quadrant q under the
+// same convention.
+func (ix *Index) containsHalfOpen(p geom.Point, q geom.Rect) bool {
+	if p.X < q.MinX || p.Y < q.MinY {
+		return false
+	}
+	if p.X >= q.MaxX && q.MaxX != ix.opts.Space.MaxX {
+		return false
+	}
+	if p.Y >= q.MaxY && q.MaxY != ix.opts.Space.MaxY {
+		return false
+	}
+	return p.X <= q.MaxX && p.Y <= q.MaxY
+}
+
+// quadrants returns the four child bounds of b in the order
+// (min,min), (max,min), (min,max), (max,max).
+func quadrants(b geom.Rect) [4]geom.Rect {
+	cx, cy := (b.MinX+b.MaxX)/2, (b.MinY+b.MaxY)/2
+	return [4]geom.Rect{
+		{MinX: b.MinX, MinY: b.MinY, MaxX: cx, MaxY: cy},
+		{MinX: cx, MinY: b.MinY, MaxX: b.MaxX, MaxY: cy},
+		{MinX: b.MinX, MinY: cy, MaxX: cx, MaxY: b.MaxY},
+		{MinX: cx, MinY: cy, MaxX: b.MaxX, MaxY: b.MaxY},
+	}
+}
+
+// classOf returns the two-layer class of r in a quadrant q.
+func classOf(r, q geom.Rect) int {
+	insideX := r.MinX >= q.MinX
+	insideY := r.MinY >= q.MinY
+	switch {
+	case insideX && insideY:
+		return 0 // A
+	case insideX:
+		return 1 // B
+	case insideY:
+		return 2 // C
+	default:
+		return 3 // D
+	}
+}
+
+// Insert adds one object.
+func (ix *Index) Insert(e spatial.Entry) {
+	if ix.opts.Mode == MXCIF {
+		ix.insertMXCIF(ix.root, e, 0)
+	} else {
+		ix.insertReplicating(ix.root, e, 0)
+	}
+	ix.size++
+}
+
+func (ix *Index) insertReplicating(n *node, e spatial.Entry, depth int) {
+	if n.children != nil {
+		for _, c := range n.children {
+			if ix.halfOpenIntersects(e.Rect, c.bounds) {
+				ix.insertReplicating(c, e, depth+1)
+			}
+		}
+		return
+	}
+	n.addLeafEntry(e, ix.opts.Mode)
+	if n.leafCount() > ix.opts.Capacity && depth < ix.opts.MaxDepth {
+		ix.split(n, depth)
+	}
+}
+
+func (n *node) addLeafEntry(e spatial.Entry, m Mode) {
+	if m == TwoLayer {
+		if n.classes == nil {
+			n.classes = &[4][]spatial.Entry{}
+		}
+		c := classOf(e.Rect, n.bounds)
+		n.classes[c] = append(n.classes[c], e)
+		return
+	}
+	n.entries = append(n.entries, e)
+}
+
+func (n *node) leafCount() int {
+	if n.classes != nil {
+		return len(n.classes[0]) + len(n.classes[1]) + len(n.classes[2]) + len(n.classes[3])
+	}
+	return len(n.entries)
+}
+
+// split turns a leaf into an internal node, redistributing (and
+// replicating) its entries into the four children.
+func (ix *Index) split(n *node, depth int) {
+	qs := quadrants(n.bounds)
+	var kids [4]*node
+	for i := range kids {
+		kids[i] = &node{bounds: qs[i]}
+	}
+	move := func(e spatial.Entry) {
+		for _, c := range kids {
+			if ix.halfOpenIntersects(e.Rect, c.bounds) {
+				c.addLeafEntry(e, ix.opts.Mode)
+			}
+		}
+	}
+	if n.classes != nil {
+		for c := range n.classes {
+			for _, e := range n.classes[c] {
+				move(e)
+			}
+		}
+		n.classes = nil
+	} else {
+		for _, e := range n.entries {
+			move(e)
+		}
+		n.entries = nil
+	}
+	n.children = &kids
+	// Cascade splits if a child is still over capacity (skewed data).
+	for _, c := range kids {
+		if c.leafCount() > ix.opts.Capacity && depth+1 < ix.opts.MaxDepth {
+			ix.split(c, depth+1)
+		}
+	}
+}
+
+func (ix *Index) insertMXCIF(n *node, e spatial.Entry, depth int) {
+	if depth < ix.opts.MaxDepth {
+		qs := quadrants(n.bounds)
+		for i, q := range qs {
+			if q.Contains(e.Rect) {
+				if n.children == nil {
+					var kids [4]*node
+					for j := range kids {
+						kids[j] = &node{bounds: qs[j]}
+					}
+					n.children = &kids
+				}
+				ix.insertMXCIF(n.children[i], e, depth+1)
+				return
+			}
+		}
+	}
+	// No child fully contains the object (or depth exhausted): it lives
+	// here.
+	n.entries = append(n.entries, e)
+}
+
+// Delete removes the object with the given id and exact MBR from every
+// quadrant holding a replica, reporting whether it was found. Quadrants
+// are not merged back on underflow (the usual quad-tree practice; splits
+// are driven by inserts only).
+func (ix *Index) Delete(id spatial.ID, r geom.Rect) bool {
+	var found bool
+	if ix.opts.Mode == MXCIF {
+		found = ix.deleteMXCIF(ix.root, id, r, 0)
+	} else {
+		found = ix.deleteReplicating(ix.root, id, r)
+	}
+	if found {
+		ix.size--
+	}
+	return found
+}
+
+func (ix *Index) deleteReplicating(n *node, id spatial.ID, r geom.Rect) bool {
+	if n.children != nil {
+		found := false
+		for _, c := range n.children {
+			if ix.halfOpenIntersects(r, c.bounds) {
+				if ix.deleteReplicating(c, id, r) {
+					found = true
+				}
+			}
+		}
+		return found
+	}
+	if n.classes != nil {
+		c := classOf(r, n.bounds)
+		return removeEntry(&n.classes[c], id, r)
+	}
+	return removeEntry(&n.entries, id, r)
+}
+
+func (ix *Index) deleteMXCIF(n *node, id spatial.ID, r geom.Rect, depth int) bool {
+	if depth < ix.opts.MaxDepth && n.children != nil {
+		for _, c := range n.children {
+			if c.bounds.Contains(r) {
+				return ix.deleteMXCIF(c, id, r, depth+1)
+			}
+		}
+	}
+	return removeEntry(&n.entries, id, r)
+}
+
+// removeEntry deletes the (id, rect) entry from a slice by swap-remove.
+func removeEntry(entries *[]spatial.Entry, id spatial.ID, r geom.Rect) bool {
+	list := *entries
+	for i := range list {
+		if list[i].ID == id && list[i].Rect == r {
+			list[i] = list[len(list)-1]
+			*entries = list[:len(list)-1]
+			return true
+		}
+	}
+	return false
+}
+
+// Depth returns the height of the tree (1 for a single leaf).
+func (ix *Index) Depth() int {
+	var walk func(n *node) int
+	walk = func(n *node) int {
+		if n == nil {
+			return 0
+		}
+		if n.children == nil {
+			return 1
+		}
+		best := 0
+		for _, c := range n.children {
+			if d := walk(c); d > best {
+				best = d
+			}
+		}
+		return best + 1
+	}
+	return walk(ix.root)
+}
+
+// StoredEntries returns the total number of stored entries, replicas
+// included.
+func (ix *Index) StoredEntries() int {
+	n := 0
+	var walk func(*node)
+	walk = func(nd *node) {
+		if nd == nil {
+			return
+		}
+		n += nd.leafCount()
+		if nd.children != nil {
+			for _, c := range nd.children {
+				walk(c)
+			}
+		}
+	}
+	walk(ix.root)
+	return n
+}
+
+// Window runs the filtering step of a window query, invoking fn exactly
+// once per intersecting object.
+func (ix *Index) Window(w geom.Rect, fn func(e spatial.Entry)) {
+	if !w.Valid() {
+		return
+	}
+	switch ix.opts.Mode {
+	case MXCIF:
+		ix.windowMXCIF(ix.root, w, fn)
+	case TwoLayer:
+		ix.windowTwoLayer(ix.root, w, fn)
+	default:
+		ix.windowRefPoint(ix.root, w, fn)
+	}
+}
+
+// WindowIDs collects result IDs into buf.
+func (ix *Index) WindowIDs(w geom.Rect, buf []spatial.ID) []spatial.ID {
+	buf = buf[:0]
+	ix.Window(w, func(e spatial.Entry) { buf = append(buf, e.ID) })
+	return buf
+}
+
+// WindowCount returns the number of MBRs intersecting w.
+func (ix *Index) WindowCount(w geom.Rect) int {
+	n := 0
+	ix.Window(w, func(spatial.Entry) { n++ })
+	return n
+}
+
+func (ix *Index) windowMXCIF(n *node, w geom.Rect, fn func(spatial.Entry)) {
+	if !n.bounds.Intersects(w) {
+		return
+	}
+	for i := range n.entries {
+		if n.entries[i].Rect.Intersects(w) {
+			fn(n.entries[i])
+		}
+	}
+	if n.children != nil {
+		for _, c := range n.children {
+			ix.windowMXCIF(c, w, fn)
+		}
+	}
+}
+
+func (ix *Index) windowRefPoint(n *node, w geom.Rect, fn func(spatial.Entry)) {
+	if !ix.halfOpenIntersects(w, n.bounds) {
+		return
+	}
+	if n.children != nil {
+		for _, c := range n.children {
+			ix.windowRefPoint(c, w, fn)
+		}
+		return
+	}
+	for i := range n.entries {
+		e := &n.entries[i]
+		if !e.Rect.Intersects(w) {
+			continue
+		}
+		if ix.containsHalfOpen(dedup.RefPoint(e.Rect, w), n.bounds) {
+			fn(*e)
+		}
+	}
+}
+
+func (ix *Index) windowTwoLayer(n *node, w geom.Rect, fn func(spatial.Entry)) {
+	if !ix.halfOpenIntersects(w, n.bounds) {
+		return
+	}
+	if n.children != nil {
+		for _, c := range n.children {
+			ix.windowTwoLayer(c, w, fn)
+		}
+		return
+	}
+	if n.classes == nil {
+		return
+	}
+	scan := func(entries []spatial.Entry) {
+		for i := range entries {
+			if entries[i].Rect.Intersects(w) {
+				fn(entries[i])
+			}
+		}
+	}
+	scan(n.classes[0]) // class A always
+	if w.MinY >= n.bounds.MinY {
+		scan(n.classes[1]) // class B unless the window starts above
+	}
+	if w.MinX >= n.bounds.MinX {
+		scan(n.classes[2]) // class C unless the window starts left
+	}
+	if w.MinX >= n.bounds.MinX && w.MinY >= n.bounds.MinY {
+		scan(n.classes[3]) // class D needs both
+	}
+}
+
+// Disk evaluates a disk query the way the paper evaluates it on SOP
+// baselines: a window query on the disk's MBR, reporting results whose
+// quadrant lies inside the disk directly and distance-verifying the rest.
+func (ix *Index) Disk(center geom.Point, radius float64, fn func(e spatial.Entry)) {
+	if radius < 0 {
+		return
+	}
+	w := geom.Disk{Center: center, Radius: radius}.MBR()
+	r2 := radius * radius
+	var walk func(n *node)
+	walk = func(n *node) {
+		if ix.opts.Mode == MXCIF {
+			if !n.bounds.Intersects(w) {
+				return
+			}
+		} else if !ix.halfOpenIntersects(w, n.bounds) {
+			return
+		}
+		if n.children != nil {
+			for _, c := range n.children {
+				walk(c)
+			}
+			if ix.opts.Mode != MXCIF {
+				return
+			}
+		}
+		nodeInside := n.bounds.InsideDisk(center, radius)
+		emit := func(e *spatial.Entry) {
+			if nodeInside || e.Rect.DistSqToPoint(center) <= r2 {
+				fn(*e)
+			}
+		}
+		switch {
+		case ix.opts.Mode == MXCIF:
+			for i := range n.entries {
+				if n.entries[i].Rect.Intersects(w) {
+					emit(&n.entries[i])
+				}
+			}
+		case ix.opts.Mode == TwoLayer:
+			if n.classes == nil {
+				return
+			}
+			scan := func(entries []spatial.Entry) {
+				for i := range entries {
+					if entries[i].Rect.Intersects(w) {
+						emit(&entries[i])
+					}
+				}
+			}
+			scan(n.classes[0])
+			if w.MinY >= n.bounds.MinY {
+				scan(n.classes[1])
+			}
+			if w.MinX >= n.bounds.MinX {
+				scan(n.classes[2])
+			}
+			if w.MinX >= n.bounds.MinX && w.MinY >= n.bounds.MinY {
+				scan(n.classes[3])
+			}
+		default:
+			for i := range n.entries {
+				e := &n.entries[i]
+				if !e.Rect.Intersects(w) {
+					continue
+				}
+				if ix.containsHalfOpen(dedup.RefPoint(e.Rect, w), n.bounds) {
+					emit(e)
+				}
+			}
+		}
+	}
+	walk(ix.root)
+}
+
+// DiskIDs collects disk query result IDs into buf.
+func (ix *Index) DiskIDs(center geom.Point, radius float64, buf []spatial.ID) []spatial.ID {
+	buf = buf[:0]
+	ix.Disk(center, radius, func(e spatial.Entry) { buf = append(buf, e.ID) })
+	return buf
+}
+
+// DiskCount returns the number of MBRs intersecting the disk.
+func (ix *Index) DiskCount(center geom.Point, radius float64) int {
+	n := 0
+	ix.Disk(center, radius, func(spatial.Entry) { n++ })
+	return n
+}

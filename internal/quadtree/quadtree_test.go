@@ -1,0 +1,233 @@
+package quadtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"github.com/twolayer/twolayer/internal/geom"
+	"github.com/twolayer/twolayer/internal/spatial"
+)
+
+func randRects(rnd *rand.Rand, n int, maxSide float64) []geom.Rect {
+	rects := make([]geom.Rect, n)
+	for i := range rects {
+		x, y := rnd.Float64(), rnd.Float64()
+		w := rnd.Float64() * maxSide
+		h := rnd.Float64() * maxSide
+		r := geom.Rect{MinX: x, MinY: y, MaxX: x + w, MaxY: y + h}
+		// Keep objects inside the unit space; the quad-tree partitions a
+		// fixed region.
+		if r.MaxX > 1 {
+			r.MaxX = 1
+		}
+		if r.MaxY > 1 {
+			r.MaxY = 1
+		}
+		rects[i] = r
+	}
+	return rects
+}
+
+func sameIDs(t *testing.T, got, want []spatial.ID, context string) {
+	t.Helper()
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	if len(got) != len(want) {
+		t.Fatalf("%s: got %d results, want %d", context, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: result %d = %d, want %d", context, i, got[i], want[i])
+		}
+	}
+}
+
+func noDuplicates(t *testing.T, ids []spatial.ID, context string) {
+	t.Helper()
+	seen := make(map[spatial.ID]bool, len(ids))
+	for _, id := range ids {
+		if seen[id] {
+			t.Fatalf("%s: duplicate result %d", context, id)
+		}
+		seen[id] = true
+	}
+}
+
+func unitSpace() geom.Rect { return geom.Rect{MaxX: 1, MaxY: 1} }
+
+// TestWindowAllModes: every variant must agree with brute force without
+// duplicates, across capacities that force deep splits.
+func TestWindowAllModes(t *testing.T) {
+	rnd := rand.New(rand.NewSource(91))
+	for _, mode := range []Mode{RefPointDedup, TwoLayer, MXCIF} {
+		for _, capacity := range []int{8, 64, 1000} {
+			d := spatial.NewDataset(randRects(rnd, 800, 0.1))
+			ix := Build(d, Options{Space: unitSpace(), Capacity: capacity, MaxDepth: 10, Mode: mode})
+			for q := 0; q < 60; q++ {
+				x, y := rnd.Float64(), rnd.Float64()
+				w := geom.Rect{MinX: x, MinY: y, MaxX: x + rnd.Float64()*0.3, MaxY: y + rnd.Float64()*0.3}
+				got := ix.WindowIDs(w, nil)
+				noDuplicates(t, got, mode.String())
+				sameIDs(t, got, spatial.BruteWindow(d.Entries, w), mode.String())
+			}
+		}
+	}
+}
+
+// TestDiskAllModes: disk queries across variants.
+func TestDiskAllModes(t *testing.T) {
+	rnd := rand.New(rand.NewSource(92))
+	for _, mode := range []Mode{RefPointDedup, TwoLayer, MXCIF} {
+		d := spatial.NewDataset(randRects(rnd, 600, 0.08))
+		ix := Build(d, Options{Space: unitSpace(), Capacity: 32, MaxDepth: 8, Mode: mode})
+		for q := 0; q < 60; q++ {
+			c := geom.Point{X: rnd.Float64(), Y: rnd.Float64()}
+			radius := rnd.Float64() * 0.25
+			got := ix.DiskIDs(c, radius, nil)
+			noDuplicates(t, got, mode.String())
+			sameIDs(t, got, spatial.BruteDisk(d.Entries, c, radius), "disk "+mode.String())
+		}
+	}
+}
+
+// TestSplitRespectsCapacityAndDepth: leaves beyond capacity only at max
+// depth; the tree never exceeds MaxDepth.
+func TestSplitRespectsCapacityAndDepth(t *testing.T) {
+	rnd := rand.New(rand.NewSource(93))
+	d := spatial.NewDataset(randRects(rnd, 3000, 0.01))
+	ix := Build(d, Options{Space: unitSpace(), Capacity: 50, MaxDepth: 6, Mode: RefPointDedup})
+	if got := ix.Depth(); got > 6 {
+		t.Errorf("depth %d exceeds max 6", got)
+	}
+	var walk func(n *node, depth int)
+	walk = func(n *node, depth int) {
+		if n.children == nil {
+			if n.leafCount() > 50 && depth < 6 {
+				t.Errorf("leaf at depth %d holds %d > capacity", depth, n.leafCount())
+			}
+			return
+		}
+		for _, c := range n.children {
+			walk(c, depth+1)
+		}
+	}
+	walk(ix.root, 1)
+}
+
+// TestMXCIFNoReplication: MXCIF stores each object exactly once.
+func TestMXCIFNoReplication(t *testing.T) {
+	rnd := rand.New(rand.NewSource(94))
+	d := spatial.NewDataset(randRects(rnd, 1000, 0.2))
+	ix := Build(d, Options{Space: unitSpace(), Mode: MXCIF, MaxDepth: 8})
+	if got := ix.StoredEntries(); got != d.Len() {
+		t.Errorf("MXCIF stores %d entries for %d objects", got, d.Len())
+	}
+	// Every stored object must be fully contained in its node's bounds
+	// (or at the root).
+	var walk func(n *node)
+	walk = func(n *node) {
+		for _, e := range n.entries {
+			if n != ix.root && !n.bounds.Contains(e.Rect) {
+				t.Fatalf("object %d at node %v not contained", e.ID, n.bounds)
+			}
+		}
+		if n.children != nil {
+			for _, c := range n.children {
+				walk(c)
+			}
+		}
+	}
+	walk(ix.root)
+}
+
+// TestReplicationHappens: the replicating variants store more entries
+// than objects when objects span quadrant borders.
+func TestReplicationHappens(t *testing.T) {
+	rnd := rand.New(rand.NewSource(95))
+	d := spatial.NewDataset(randRects(rnd, 2000, 0.1))
+	ix := Build(d, Options{Space: unitSpace(), Capacity: 50, MaxDepth: 8, Mode: RefPointDedup})
+	if got := ix.StoredEntries(); got <= d.Len() {
+		t.Errorf("replicating tree stores %d entries for %d objects", got, d.Len())
+	}
+}
+
+// TestBorderObjectOwnership: an object exactly on a quadrant border must
+// be reported exactly once (half-open assignment).
+func TestBorderObjectOwnership(t *testing.T) {
+	// Space [0,1]^2, capacity 1 forces an immediate split at 0.5.
+	rects := []geom.Rect{
+		{MinX: 0.5, MinY: 0.2, MaxX: 0.6, MaxY: 0.3}, // MinX on the split line
+		{MinX: 0.2, MinY: 0.5, MaxX: 0.3, MaxY: 0.6}, // MinY on the split line
+		{MinX: 0.4, MinY: 0.4, MaxX: 0.5, MaxY: 0.5}, // MaxX/MaxY on the line
+		{MinX: 0.5, MinY: 0.5, MaxX: 0.5, MaxY: 0.5}, // degenerate point on the corner
+	}
+	d := spatial.NewDataset(rects)
+	for _, mode := range []Mode{RefPointDedup, TwoLayer} {
+		ix := Build(d, Options{Space: unitSpace(), Capacity: 1, MaxDepth: 4, Mode: mode})
+		w := geom.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}
+		got := ix.WindowIDs(w, nil)
+		noDuplicates(t, got, mode.String())
+		sameIDs(t, got, []spatial.ID{0, 1, 2, 3}, mode.String())
+	}
+}
+
+// TestDeleteAllModes: deletions remove every replica and keep queries
+// exact, for all three variants.
+func TestDeleteAllModes(t *testing.T) {
+	rnd := rand.New(rand.NewSource(97))
+	for _, mode := range []Mode{RefPointDedup, TwoLayer, MXCIF} {
+		rects := randRects(rnd, 800, 0.1)
+		d := spatial.NewDataset(rects)
+		ix := Build(d, Options{Space: unitSpace(), Capacity: 32, MaxDepth: 8, Mode: mode})
+		var remaining []spatial.Entry
+		for i, r := range rects {
+			if i%3 == 0 {
+				if !ix.Delete(spatial.ID(i), r) {
+					t.Fatalf("%v: Delete(%d) not found", mode, i)
+				}
+			} else {
+				remaining = append(remaining, spatial.Entry{Rect: r, ID: spatial.ID(i)})
+			}
+		}
+		if ix.Len() != len(remaining) {
+			t.Fatalf("%v: Len = %d, want %d", mode, ix.Len(), len(remaining))
+		}
+		for q := 0; q < 40; q++ {
+			x, y := rnd.Float64(), rnd.Float64()
+			w := geom.Rect{MinX: x, MinY: y, MaxX: x + 0.2, MaxY: y + 0.2}
+			got := ix.WindowIDs(w, nil)
+			noDuplicates(t, got, mode.String())
+			sameIDs(t, got, spatial.BruteWindow(remaining, w), mode.String()+" after delete")
+		}
+		if ix.Delete(99999, rects[0]) {
+			t.Fatalf("%v: deleting absent id succeeded", mode)
+		}
+	}
+}
+
+// TestEmptyAndMissQueries: no results outside the space or on an empty
+// tree.
+func TestEmptyAndMissQueries(t *testing.T) {
+	ix := New(Options{})
+	if n := ix.WindowCount(geom.Rect{MaxX: 1, MaxY: 1}); n != 0 {
+		t.Errorf("empty tree returned %d", n)
+	}
+	rnd := rand.New(rand.NewSource(96))
+	d := spatial.NewDataset(randRects(rnd, 100, 0.05))
+	full := Build(d, Options{Space: unitSpace()})
+	if n := full.WindowCount(geom.Rect{MinX: 2, MinY: 2, MaxX: 3, MaxY: 3}); n != 0 {
+		t.Errorf("out-of-space window returned %d", n)
+	}
+	if n := full.DiskCount(geom.Point{X: 5, Y: 5}, 0.1); n != 0 {
+		t.Errorf("out-of-space disk returned %d", n)
+	}
+}
+
+// TestModeString covers the Stringer.
+func TestModeString(t *testing.T) {
+	if RefPointDedup.String() != "quad-refpoint" || TwoLayer.String() != "quad-2layer" ||
+		MXCIF.String() != "mxcif" || Mode(9).String() != "quad(?)" {
+		t.Error("Mode.String wrong")
+	}
+}

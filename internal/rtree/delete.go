@@ -1,0 +1,97 @@
+package rtree
+
+import (
+	"github.com/twolayer/twolayer/internal/geom"
+	"github.com/twolayer/twolayer/internal/spatial"
+)
+
+// Delete removes the object with the given id and exact MBR, using the
+// classic R-tree CondenseTree algorithm: the leaf is located through MBR
+// containment, the entry removed, underfull nodes along the path are
+// dissolved and their surviving entries reinserted at their original
+// level. It reports whether the object was found.
+func (ix *Index) Delete(id spatial.ID, r geom.Rect) bool {
+	if ix.size == 0 {
+		return false
+	}
+	var orphans []entryItem
+	found := ix.deleteRec(ix.root, id, r, 1, &orphans)
+	if !found {
+		return false
+	}
+	ix.size--
+
+	// Shrink the root while it is an internal node with a single child.
+	for !ix.root.leaf && len(ix.root.children) == 1 {
+		ix.root = ix.root.children[0]
+		ix.height--
+	}
+	if !ix.root.leaf && len(ix.root.children) == 0 {
+		ix.root = &node{leaf: true}
+		ix.height = 1
+	}
+
+	// Reinsert orphans at their recorded height above the leaf level
+	// (the height is re-read per orphan: reinsertion may grow the root).
+	for _, o := range orphans {
+		ix.reinserting = true // orphan reinsertion must not trigger forced reinserts
+		if o.child != nil {
+			ix.insertAtDepth(o, ix.height-o.level-1)
+		} else {
+			ix.insertAtDepth(o, ix.height)
+		}
+	}
+	return true
+}
+
+// deleteRec removes the entry from the subtree under n (at depth) and
+// condenses underfull nodes into the orphan list. Returns whether the
+// entry was found in this subtree.
+func (ix *Index) deleteRec(n *node, id spatial.ID, r geom.Rect, depth int, orphans *[]entryItem) bool {
+	if n.leaf {
+		for i := range n.entries {
+			if n.entries[i].ID == id && n.entries[i].Rect == r {
+				n.entries[i] = n.entries[len(n.entries)-1]
+				n.entries = n.entries[:len(n.entries)-1]
+				n.recomputeMBR()
+				return true
+			}
+		}
+		return false
+	}
+	for ci, c := range n.children {
+		// Tight MBRs contain every descendant rect exactly, so
+		// containment is a safe prune.
+		if !c.mbr.Contains(r) {
+			continue
+		}
+		if !ix.deleteRec(c, id, r, depth+1, orphans) {
+			continue
+		}
+		// Condense: dissolve the child if it fell below the minimum fill
+		// (never dissolve a child that is the root's last child; the
+		// caller handles root shrinking).
+		if c.count() < ix.minFill {
+			n.children[ci] = n.children[len(n.children)-1]
+			n.children = n.children[:len(n.children)-1]
+			ix.collectOrphans(c, ix.height-depth-1, orphans)
+		}
+		n.recomputeMBR()
+		return true
+	}
+	return false
+}
+
+// collectOrphans records a dissolved node's contents for reinsertion.
+// level is the node's height above the leaves (0 = leaf).
+func (ix *Index) collectOrphans(n *node, level int, orphans *[]entryItem) {
+	if n.leaf {
+		for _, e := range n.entries {
+			*orphans = append(*orphans, entryItem{rect: e.Rect, entry: e})
+		}
+		return
+	}
+	for _, c := range n.children {
+		*orphans = append(*orphans, entryItem{rect: c.mbr, child: c, level: level - 1})
+	}
+}

@@ -1,0 +1,127 @@
+package rtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/twolayer/twolayer/internal/geom"
+	"github.com/twolayer/twolayer/internal/spatial"
+)
+
+// TestDeleteHalf removes half the objects and checks queries, structure
+// and Len against the surviving set, for both construction methods.
+func TestDeleteHalf(t *testing.T) {
+	rnd := rand.New(rand.NewSource(201))
+	rects := randRects(rnd, 2000, 0.05)
+	d := spatial.NewDataset(rects)
+	for name, ix := range map[string]*Index{
+		"STR": BulkSTR(d, Options{}),
+		"R*":  BuildRStar(d, Options{}),
+	} {
+		var remaining []spatial.Entry
+		for i, r := range rects {
+			if i%2 == 0 {
+				if !ix.Delete(spatial.ID(i), r) {
+					t.Fatalf("%s: Delete(%d) not found", name, i)
+				}
+			} else {
+				remaining = append(remaining, spatial.Entry{Rect: r, ID: spatial.ID(i)})
+			}
+		}
+		if ix.Len() != len(remaining) {
+			t.Fatalf("%s: Len = %d, want %d", name, ix.Len(), len(remaining))
+		}
+		if err := ix.Validate(); err != nil {
+			t.Fatalf("%s after deletes: %v", name, err)
+		}
+		for q := 0; q < 60; q++ {
+			x, y := rnd.Float64(), rnd.Float64()
+			w := geom.Rect{MinX: x, MinY: y, MaxX: x + 0.2, MaxY: y + 0.2}
+			sameIDs(t, ix.WindowIDs(w, nil), spatial.BruteWindow(remaining, w), name+" after delete")
+		}
+	}
+}
+
+// TestDeleteAll empties the tree and reuses it.
+func TestDeleteAll(t *testing.T) {
+	rnd := rand.New(rand.NewSource(202))
+	rects := randRects(rnd, 500, 0.05)
+	ix := BuildRStar(spatial.NewDataset(rects), Options{})
+	for i, r := range rects {
+		if !ix.Delete(spatial.ID(i), r) {
+			t.Fatalf("Delete(%d) failed", i)
+		}
+	}
+	if ix.Len() != 0 || ix.Height() != 1 {
+		t.Fatalf("after delete-all: Len=%d Height=%d", ix.Len(), ix.Height())
+	}
+	if n := ix.WindowCount(geom.Rect{MaxX: 1, MaxY: 1}); n != 0 {
+		t.Fatalf("empty tree returned %d", n)
+	}
+	// The tree must accept new objects again.
+	ix.Insert(spatial.Entry{Rect: rects[0], ID: 0})
+	if ix.WindowCount(geom.Rect{MaxX: 2, MaxY: 2}) != 1 {
+		t.Fatal("insert after delete-all failed")
+	}
+}
+
+// TestDeleteMissing: absent IDs and mismatched rects are rejected.
+func TestDeleteMissing(t *testing.T) {
+	rnd := rand.New(rand.NewSource(203))
+	rects := randRects(rnd, 100, 0.05)
+	ix := BulkSTR(spatial.NewDataset(rects), Options{})
+	if ix.Delete(9999, rects[0]) {
+		t.Error("deleting absent id succeeded")
+	}
+	wrong := rects[0]
+	wrong.MaxX += 0.001
+	if ix.Delete(0, wrong) {
+		t.Error("deleting with wrong rect succeeded")
+	}
+	if ix.Len() != 100 {
+		t.Errorf("Len changed: %d", ix.Len())
+	}
+	empty := New(Options{})
+	if empty.Delete(0, rects[0]) {
+		t.Error("delete on empty tree succeeded")
+	}
+}
+
+// TestDeleteInsertChurn interleaves the two against a model.
+func TestDeleteInsertChurn(t *testing.T) {
+	rnd := rand.New(rand.NewSource(204))
+	ix := New(Options{Fanout: 8})
+	model := map[spatial.ID]geom.Rect{}
+	next := spatial.ID(0)
+	for step := 0; step < 4000; step++ {
+		if len(model) == 0 || rnd.Float64() < 0.6 {
+			r := randRects(rnd, 1, 0.05)[0]
+			ix.Insert(spatial.Entry{Rect: r, ID: next})
+			model[next] = r
+			next++
+		} else {
+			for id, r := range model {
+				if !ix.Delete(id, r) {
+					t.Fatalf("step %d: Delete(%d) failed", step, id)
+				}
+				delete(model, id)
+				break
+			}
+		}
+	}
+	if err := ix.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if ix.Len() != len(model) {
+		t.Fatalf("Len %d != model %d", ix.Len(), len(model))
+	}
+	entries := make([]spatial.Entry, 0, len(model))
+	for id, r := range model {
+		entries = append(entries, spatial.Entry{Rect: r, ID: id})
+	}
+	for q := 0; q < 40; q++ {
+		x, y := rnd.Float64(), rnd.Float64()
+		w := geom.Rect{MinX: x, MinY: y, MaxX: x + 0.3, MaxY: y + 0.3}
+		sameIDs(t, ix.WindowIDs(w, nil), spatial.BruteWindow(entries, w), "churn")
+	}
+}

@@ -1,0 +1,68 @@
+package rtree
+
+import (
+	"container/heap"
+	"math"
+
+	"github.com/twolayer/twolayer/internal/geom"
+	"github.com/twolayer/twolayer/internal/spatial"
+)
+
+// Neighbor is one kNN result.
+type Neighbor struct {
+	ID   spatial.ID
+	Dist float64
+}
+
+// pqItem is an entry of the best-first priority queue: either a node to
+// expand or an object candidate.
+type pqItem struct {
+	distSq float64
+	node   *node
+	entry  spatial.Entry
+}
+
+type pq []pqItem
+
+func (q pq) Len() int           { return len(q) }
+func (q pq) Less(i, j int) bool { return q[i].distSq < q[j].distSq }
+func (q pq) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x any)        { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() any {
+	old := *q
+	n := len(old)
+	x := old[n-1]
+	*q = old[:n-1]
+	return x
+}
+
+// KNN returns the k objects whose MBRs are nearest to p, ascending by
+// distance, using the classic best-first (Hjaltason/Samet) traversal.
+func (ix *Index) KNN(p geom.Point, k int) []Neighbor {
+	if k <= 0 || ix.size == 0 {
+		return nil
+	}
+	q := pq{{distSq: ix.root.mbr.DistSqToPoint(p), node: ix.root}}
+	out := make([]Neighbor, 0, k)
+	for len(q) > 0 && len(out) < k {
+		item := heap.Pop(&q).(pqItem)
+		if item.node == nil {
+			out = append(out, Neighbor{ID: item.entry.ID, Dist: math.Sqrt(item.distSq)})
+			continue
+		}
+		n := item.node
+		if n.leaf {
+			for i := range n.entries {
+				heap.Push(&q, pqItem{
+					distSq: n.entries[i].Rect.DistSqToPoint(p),
+					entry:  n.entries[i],
+				})
+			}
+			continue
+		}
+		for _, c := range n.children {
+			heap.Push(&q, pqItem{distSq: c.mbr.DistSqToPoint(p), node: c})
+		}
+	}
+	return out
+}

@@ -1,0 +1,63 @@
+package rtree
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"github.com/twolayer/twolayer/internal/geom"
+	"github.com/twolayer/twolayer/internal/spatial"
+)
+
+func bruteKNN(entries []spatial.Entry, q geom.Point, k int) []float64 {
+	d := make([]float64, len(entries))
+	for i, e := range entries {
+		d[i] = math.Sqrt(e.Rect.DistSqToPoint(q))
+	}
+	sort.Float64s(d)
+	if k > len(d) {
+		k = len(d)
+	}
+	return d[:k]
+}
+
+func TestKNNMatchesBruteForce(t *testing.T) {
+	rnd := rand.New(rand.NewSource(141))
+	d := spatial.NewDataset(randRects(rnd, 800, 0.05))
+	for _, ix := range []*Index{BulkSTR(d, Options{}), BuildRStar(d, Options{})} {
+		for trial := 0; trial < 50; trial++ {
+			q := geom.Point{X: rnd.Float64(), Y: rnd.Float64()}
+			k := 1 + rnd.Intn(25)
+			got := ix.KNN(q, k)
+			want := bruteKNN(d.Entries, q, k)
+			if len(got) != len(want) {
+				t.Fatalf("k=%d: got %d", k, len(got))
+			}
+			for i := range got {
+				if math.Abs(got[i].Dist-want[i]) > 1e-12 {
+					t.Fatalf("k=%d result %d: %v want %v", k, i, got[i].Dist, want[i])
+				}
+				if i > 0 && got[i].Dist < got[i-1].Dist {
+					t.Fatal("not ascending")
+				}
+			}
+		}
+	}
+}
+
+func TestKNNEdges(t *testing.T) {
+	empty := New(Options{})
+	if empty.KNN(geom.Point{}, 5) != nil {
+		t.Error("empty tree should return nil")
+	}
+	rnd := rand.New(rand.NewSource(142))
+	d := spatial.NewDataset(randRects(rnd, 10, 0.05))
+	ix := BulkSTR(d, Options{})
+	if ix.KNN(geom.Point{}, 0) != nil {
+		t.Error("k=0 should return nil")
+	}
+	if got := ix.KNN(geom.Point{X: 0.5, Y: 0.5}, 50); len(got) != 10 {
+		t.Errorf("k>n returned %d", len(got))
+	}
+}

@@ -1,0 +1,295 @@
+package rtree
+
+import (
+	"sort"
+
+	"github.com/twolayer/twolayer/internal/geom"
+	"github.com/twolayer/twolayer/internal/spatial"
+)
+
+// Insert adds one object using the R*-tree insertion algorithm: subtree
+// choice by overlap/area enlargement, forced reinsertion on the first
+// overflow of a level, and the R* margin-driven split otherwise.
+func (ix *Index) Insert(e spatial.Entry) {
+	ix.reinserting = false
+	ix.insertAtDepth(entryItem{rect: e.Rect, entry: e}, ix.height)
+	ix.size++
+}
+
+// entryItem abstracts over "object entry" (into leaves) and "orphaned
+// subtree" (re-inserted into its original level) so reinsertion can share
+// one code path. For subtree items, level records the subtree root's
+// height above the leaf level (0 = leaf).
+type entryItem struct {
+	rect  geom.Rect
+	entry spatial.Entry // valid when child == nil
+	child *node
+	level int
+}
+
+// insertAtDepth places the item at the given depth (height = leaf depth).
+func (ix *Index) insertAtDepth(item entryItem, depth int) {
+	split := ix.insertRec(ix.root, item, 1, depth)
+	if split != nil {
+		// Root overflow: grow the tree by one level.
+		old := ix.root
+		ix.root = &node{children: []*node{old, split}}
+		ix.root.recomputeMBR()
+		ix.height++
+	}
+}
+
+// insertRec descends to the target depth, inserts, and handles overflow.
+// It returns a new sibling if the visited node was split.
+func (ix *Index) insertRec(n *node, item entryItem, depth, target int) *node {
+	if depth == target {
+		if item.child != nil {
+			n.children = append(n.children, item.child)
+		} else {
+			n.entries = append(n.entries, item.entry)
+		}
+		n.mbr = nodeUnion(n, item.rect)
+		if n.count() > ix.opts.Fanout {
+			return ix.overflow(n, depth)
+		}
+		return nil
+	}
+	c := ix.chooseSubtree(n, item.rect)
+	split := ix.insertRec(c, item, depth+1, target)
+	if split != nil {
+		n.children = append(n.children, split)
+	}
+	// Recompute rather than union: forced reinsertion below may have
+	// shrunk descendants, and unions can only grow.
+	n.recomputeMBR()
+	if split != nil && n.count() > ix.opts.Fanout {
+		return ix.overflow(n, depth)
+	}
+	return nil
+}
+
+func nodeUnion(n *node, r geom.Rect) geom.Rect {
+	if n.count() == 1 {
+		return r
+	}
+	return n.mbr.Union(r)
+}
+
+// chooseSubtree implements the R* descent rule: minimum overlap
+// enlargement when the children are leaves, minimum area enlargement
+// otherwise; ties broken by smaller area.
+func (ix *Index) chooseSubtree(n *node, r geom.Rect) *node {
+	children := n.children
+	leafLevel := children[0].leaf
+
+	best := children[0]
+	bestOverlap, bestEnlarge, bestArea := 0.0, 0.0, 0.0
+	for i, c := range children {
+		union := c.mbr.Union(r)
+		enlarge := union.Area() - c.mbr.Area()
+		area := c.mbr.Area()
+		overlap := 0.0
+		if leafLevel {
+			// Overlap enlargement of c against its siblings.
+			for j, s := range children {
+				if j == i {
+					continue
+				}
+				before := intersectArea(c.mbr, s.mbr)
+				after := intersectArea(union, s.mbr)
+				overlap += after - before
+			}
+		}
+		if i == 0 || better(leafLevel, overlap, enlarge, area, bestOverlap, bestEnlarge, bestArea) {
+			best, bestOverlap, bestEnlarge, bestArea = c, overlap, enlarge, area
+		}
+	}
+	return best
+}
+
+func intersectArea(a, b geom.Rect) float64 {
+	i := a.Intersection(b)
+	if !i.Valid() {
+		return 0
+	}
+	return i.Area()
+}
+
+// better reports whether the candidate metrics beat the incumbent.
+func better(leafLevel bool, overlap, enlarge, area, bOverlap, bEnlarge, bArea float64) bool {
+	if leafLevel {
+		if overlap != bOverlap {
+			return overlap < bOverlap
+		}
+	}
+	if enlarge != bEnlarge {
+		return enlarge < bEnlarge
+	}
+	return area < bArea
+}
+
+// reinsertFraction is the R* recommendation: reinsert the 30% of entries
+// farthest from the node's center on first overflow of a level.
+const reinsertFraction = 0.3
+
+// overflow resolves an overfull node: forced reinsertion once per insert
+// pass (and never for the root), a split otherwise. Returns the new
+// sibling when splitting.
+func (ix *Index) overflow(n *node, depth int) *node {
+	if !ix.reinserting && n != ix.root {
+		ix.reinserting = true
+		ix.forcedReinsert(n, depth)
+		return nil
+	}
+	return ix.split(n)
+}
+
+// forcedReinsert removes the entries farthest from the node center and
+// re-inserts them from the top, which lets poorly placed entries migrate
+// to better subtrees.
+func (ix *Index) forcedReinsert(n *node, depth int) {
+	center := n.mbr.Center()
+	k := int(reinsertFraction * float64(n.count()))
+	if k < 1 {
+		k = 1
+	}
+	if n.leaf {
+		sort.Slice(n.entries, func(i, j int) bool {
+			return n.entries[i].Rect.Center().DistSq(center) > n.entries[j].Rect.Center().DistSq(center)
+		})
+		orphans := append([]spatial.Entry(nil), n.entries[:k]...)
+		n.entries = n.entries[k:]
+		n.recomputeMBR()
+		for _, e := range orphans {
+			ix.insertAtDepth(entryItem{rect: e.Rect, entry: e}, ix.height)
+		}
+		return
+	}
+	sort.Slice(n.children, func(i, j int) bool {
+		return n.children[i].mbr.Center().DistSq(center) > n.children[j].mbr.Center().DistSq(center)
+	})
+	orphans := append([]*node(nil), n.children[:k]...)
+	n.children = n.children[k:]
+	n.recomputeMBR()
+	// Orphaned subtrees must return to their original level. Root splits
+	// during reinsertion shift absolute depths, so the level is tracked
+	// as height above the leaves and re-anchored per insertion.
+	above := ix.height - depth
+	for _, c := range orphans {
+		ix.insertAtDepth(entryItem{rect: c.mbr, child: c}, ix.height-above)
+	}
+}
+
+// splitItem is a uniform view over leaf entries and children for the R*
+// split algorithm.
+type splitItem struct {
+	rect  geom.Rect
+	entry spatial.Entry
+	child *node
+}
+
+// split performs the R* topological split, mutating n into the left group
+// and returning the right group as a new node.
+func (ix *Index) split(n *node) *node {
+	items := make([]splitItem, 0, n.count())
+	if n.leaf {
+		for _, e := range n.entries {
+			items = append(items, splitItem{rect: e.Rect, entry: e})
+		}
+	} else {
+		for _, c := range n.children {
+			items = append(items, splitItem{rect: c.mbr, child: c})
+		}
+	}
+	m := ix.minFill
+	total := len(items)
+
+	// Choose the split axis: the one whose distributions have the
+	// smallest total margin.
+	bestAxis, bestMargin := 0, 0.0
+	for axis := 0; axis < 2; axis++ {
+		sortItems(items, axis)
+		margin := 0.0
+		for k := m; k <= total-m; k++ {
+			l, r := groupMBRs(items, k)
+			margin += l.Margin() + r.Margin()
+		}
+		if axis == 0 || margin < bestMargin {
+			bestAxis, bestMargin = axis, margin
+		}
+	}
+	sortItems(items, bestAxis)
+
+	// Choose the distribution on that axis: minimum overlap, then
+	// minimum combined area.
+	bestK, bestOverlap, bestArea := m, 0.0, 0.0
+	for k := m; k <= total-m; k++ {
+		l, r := groupMBRs(items, k)
+		overlap := intersectArea(l, r)
+		area := l.Area() + r.Area()
+		if k == m || overlap < bestOverlap || (overlap == bestOverlap && area < bestArea) {
+			bestK, bestOverlap, bestArea = k, overlap, area
+		}
+	}
+
+	right := &node{leaf: n.leaf}
+	if n.leaf {
+		leftEntries := make([]spatial.Entry, 0, bestK)
+		rightEntries := make([]spatial.Entry, 0, total-bestK)
+		for i, it := range items {
+			if i < bestK {
+				leftEntries = append(leftEntries, it.entry)
+			} else {
+				rightEntries = append(rightEntries, it.entry)
+			}
+		}
+		n.entries = leftEntries
+		right.entries = rightEntries
+	} else {
+		leftKids := make([]*node, 0, bestK)
+		rightKids := make([]*node, 0, total-bestK)
+		for i, it := range items {
+			if i < bestK {
+				leftKids = append(leftKids, it.child)
+			} else {
+				rightKids = append(rightKids, it.child)
+			}
+		}
+		n.children = leftKids
+		right.children = rightKids
+	}
+	n.recomputeMBR()
+	right.recomputeMBR()
+	return right
+}
+
+// sortItems orders items by (lower, upper) on the given axis, the order
+// the R* split enumerates distributions in.
+func sortItems(items []splitItem, axis int) {
+	sort.Slice(items, func(i, j int) bool {
+		a, b := items[i].rect, items[j].rect
+		if axis == 0 {
+			if a.MinX != b.MinX {
+				return a.MinX < b.MinX
+			}
+			return a.MaxX < b.MaxX
+		}
+		if a.MinY != b.MinY {
+			return a.MinY < b.MinY
+		}
+		return a.MaxY < b.MaxY
+	})
+}
+
+// groupMBRs returns the bounding rects of items[:k] and items[k:].
+func groupMBRs(items []splitItem, k int) (geom.Rect, geom.Rect) {
+	l := items[0].rect
+	for _, it := range items[1:k] {
+		l = l.Union(it.rect)
+	}
+	r := items[k].rect
+	for _, it := range items[k+1:] {
+		r = r.Union(it.rect)
+	}
+	return l, r
+}

@@ -1,0 +1,169 @@
+package rtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"github.com/twolayer/twolayer/internal/geom"
+	"github.com/twolayer/twolayer/internal/spatial"
+)
+
+func randRects(rnd *rand.Rand, n int, maxSide float64) []geom.Rect {
+	rects := make([]geom.Rect, n)
+	for i := range rects {
+		x, y := rnd.Float64(), rnd.Float64()
+		rects[i] = geom.Rect{MinX: x, MinY: y, MaxX: x + rnd.Float64()*maxSide, MaxY: y + rnd.Float64()*maxSide}
+	}
+	return rects
+}
+
+func sameIDs(t *testing.T, got, want []spatial.ID, context string) {
+	t.Helper()
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	if len(got) != len(want) {
+		t.Fatalf("%s: got %d results, want %d", context, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: result %d = %d, want %d", context, i, got[i], want[i])
+		}
+	}
+}
+
+// TestSTRWindowMatchesBruteForce across sizes including tiny trees.
+func TestSTRWindowMatchesBruteForce(t *testing.T) {
+	rnd := rand.New(rand.NewSource(101))
+	for _, n := range []int{0, 1, 15, 16, 17, 300, 3000} {
+		d := spatial.NewDataset(randRects(rnd, n, 0.1))
+		ix := BulkSTR(d, Options{})
+		if err := ix.Validate(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if ix.Len() != n {
+			t.Fatalf("Len = %d, want %d", ix.Len(), n)
+		}
+		for q := 0; q < 40; q++ {
+			x, y := rnd.Float64(), rnd.Float64()
+			w := geom.Rect{MinX: x, MinY: y, MaxX: x + rnd.Float64()*0.3, MaxY: y + rnd.Float64()*0.3}
+			sameIDs(t, ix.WindowIDs(w, nil), spatial.BruteWindow(d.Entries, w), "STR window")
+		}
+	}
+}
+
+// TestRStarWindowMatchesBruteForce for the dynamic tree.
+func TestRStarWindowMatchesBruteForce(t *testing.T) {
+	rnd := rand.New(rand.NewSource(102))
+	for _, n := range []int{1, 17, 500, 3000} {
+		d := spatial.NewDataset(randRects(rnd, n, 0.1))
+		ix := BuildRStar(d, Options{})
+		if err := ix.Validate(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		for q := 0; q < 40; q++ {
+			x, y := rnd.Float64(), rnd.Float64()
+			w := geom.Rect{MinX: x, MinY: y, MaxX: x + rnd.Float64()*0.3, MaxY: y + rnd.Float64()*0.3}
+			sameIDs(t, ix.WindowIDs(w, nil), spatial.BruteWindow(d.Entries, w), "R* window")
+		}
+	}
+}
+
+// TestDiskQueries on both variants.
+func TestDiskQueries(t *testing.T) {
+	rnd := rand.New(rand.NewSource(103))
+	d := spatial.NewDataset(randRects(rnd, 1000, 0.05))
+	for name, ix := range map[string]*Index{
+		"STR": BulkSTR(d, Options{}),
+		"R*":  BuildRStar(d, Options{}),
+	} {
+		for q := 0; q < 50; q++ {
+			c := geom.Point{X: rnd.Float64(), Y: rnd.Float64()}
+			radius := rnd.Float64() * 0.3
+			sameIDs(t, ix.DiskIDs(c, radius, nil), spatial.BruteDisk(d.Entries, c, radius), name+" disk")
+		}
+	}
+}
+
+// TestMixedBulkThenInsert reproduces the update workload of Table VI:
+// bulk-load 90%, insert 10%.
+func TestMixedBulkThenInsert(t *testing.T) {
+	rnd := rand.New(rand.NewSource(104))
+	rects := randRects(rnd, 2000, 0.05)
+	split := 1800
+	d := spatial.NewDataset(rects[:split])
+	ix := BulkSTR(d, Options{})
+	for i := split; i < len(rects); i++ {
+		ix.Insert(spatial.Entry{Rect: rects[i], ID: spatial.ID(i)})
+	}
+	if err := ix.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	all := spatial.NewDataset(rects)
+	for q := 0; q < 50; q++ {
+		x, y := rnd.Float64(), rnd.Float64()
+		w := geom.Rect{MinX: x, MinY: y, MaxX: x + rnd.Float64()*0.3, MaxY: y + rnd.Float64()*0.3}
+		sameIDs(t, ix.WindowIDs(w, nil), spatial.BruteWindow(all.Entries, w), "bulk+insert")
+	}
+}
+
+// TestHeightGrowth: the tree height grows logarithmically with fanout 16.
+func TestHeightGrowth(t *testing.T) {
+	rnd := rand.New(rand.NewSource(105))
+	d := spatial.NewDataset(randRects(rnd, 4096, 0.01))
+	ix := BulkSTR(d, Options{})
+	// 4096 objects, fanout 16: exactly 3 levels (16^3).
+	if h := ix.Height(); h != 3 {
+		t.Errorf("height = %d, want 3", h)
+	}
+	dyn := BuildRStar(d, Options{})
+	if h := dyn.Height(); h < 3 || h > 5 {
+		t.Errorf("R* height = %d, want 3..5", h)
+	}
+}
+
+// TestFanoutRespected after heavy dynamic insertion.
+func TestFanoutRespected(t *testing.T) {
+	rnd := rand.New(rand.NewSource(106))
+	ix := New(Options{Fanout: 8})
+	for i := 0; i < 2000; i++ {
+		r := randRects(rnd, 1, 0.05)[0]
+		ix.Insert(spatial.Entry{Rect: r, ID: spatial.ID(i)})
+	}
+	if err := ix.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSkewedInsertion: clustered data exercises forced reinsertion and
+// splits on the same paths repeatedly.
+func TestSkewedInsertion(t *testing.T) {
+	rnd := rand.New(rand.NewSource(107))
+	ix := New(Options{})
+	var entries []spatial.Entry
+	for i := 0; i < 3000; i++ {
+		// All objects crammed into a tiny corner cluster.
+		x := rnd.Float64() * 0.01
+		y := rnd.Float64() * 0.01
+		r := geom.Rect{MinX: x, MinY: y, MaxX: x + 0.001, MaxY: y + 0.001}
+		e := spatial.Entry{Rect: r, ID: spatial.ID(i)}
+		entries = append(entries, e)
+		ix.Insert(e)
+	}
+	if err := ix.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	w := geom.Rect{MinX: 0, MinY: 0, MaxX: 0.005, MaxY: 0.005}
+	sameIDs(t, ix.WindowIDs(w, nil), spatial.BruteWindow(entries, w), "skewed")
+}
+
+// TestEmptyTree queries.
+func TestEmptyTree(t *testing.T) {
+	ix := New(Options{})
+	if n := ix.WindowCount(geom.Rect{MaxX: 1, MaxY: 1}); n != 0 {
+		t.Errorf("empty tree window returned %d", n)
+	}
+	if n := ix.DiskCount(geom.Point{X: 0.5, Y: 0.5}, 1); n != 0 {
+		t.Errorf("empty tree disk returned %d", n)
+	}
+}

@@ -1,0 +1,47 @@
+package wkt
+
+import (
+	"testing"
+)
+
+// FuzzParse: the parser must never panic and must round-trip whatever it
+// accepts. Run with `go test -fuzz=FuzzParse ./internal/wkt` for a real
+// fuzzing session; the seed corpus runs in normal test mode.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"POINT (1 2)",
+		"POINT(1.5e-3 -2)",
+		"LINESTRING (0 0, 1 1, 2 0)",
+		"POLYGON ((0 0, 1 0, 1 1, 0 1, 0 0))",
+		"POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0), (1 1, 2 1, 2 2, 1 2, 1 1))",
+		"MULTIPOLYGON (((0 0, 1 0, 0 1, 0 0)))",
+		"ENVELOPE (0, 1, 0, 1)",
+		"point empty",
+		"GARBAGE",
+		"POLYGON ((",
+		"POINT (nan nan)",
+		"LINESTRING (1 1, 1 1, 1 1, 1 1, 1 1, 1 1, 1 1, 1 1)",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := Parse(input)
+		if err != nil {
+			return // rejected input is fine; panicking is not
+		}
+		// Accepted input must format and re-parse to the same MBR,
+		// unless the geometry contains NaN coordinates (nothing
+		// meaningful round-trips through NaN).
+		mbr := g.MBR()
+		if mbr.Valid() {
+			back, err := Parse(Format(g))
+			if err != nil {
+				t.Fatalf("re-parse of %q failed: %v", Format(g), err)
+			}
+			if back.MBR() != mbr {
+				t.Fatalf("round trip changed MBR: %v -> %v", mbr, back.MBR())
+			}
+		}
+	})
+}

@@ -1,0 +1,147 @@
+package wkt
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/twolayer/twolayer/internal/datagen"
+	"github.com/twolayer/twolayer/internal/geom"
+)
+
+func TestParsePoint(t *testing.T) {
+	g, err := Parse("POINT (1.5 -2.5)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, ok := g.(geom.PointGeometry)
+	if !ok || p.X != 1.5 || p.Y != -2.5 {
+		t.Fatalf("got %#v", g)
+	}
+}
+
+func TestParseLineString(t *testing.T) {
+	g, err := Parse("linestring(0 0, 1 1,2 0)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, ok := g.(*geom.LineString)
+	if !ok || len(l.Points) != 3 || l.Points[2] != (geom.Point{X: 2, Y: 0}) {
+		t.Fatalf("got %#v", g)
+	}
+}
+
+func TestParsePolygon(t *testing.T) {
+	g, err := Parse("POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, ok := g.(*geom.Polygon)
+	if !ok || len(p.Ring) != 4 {
+		t.Fatalf("got %#v", g)
+	}
+	// Polygon with a hole: only the outer ring is kept.
+	g, err = Parse("POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0), (1 1, 2 1, 2 2, 1 2, 1 1))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := g.(*geom.Polygon); len(p.Ring) != 4 {
+		t.Fatalf("outer ring has %d vertices", len(p.Ring))
+	}
+}
+
+func TestParseMultiPolygon(t *testing.T) {
+	g, err := Parse("MULTIPOLYGON (((0 0, 1 0, 0 1, 0 0)), ((0 0, 10 0, 10 10, 0 10, 0 0)))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, ok := g.(*geom.Polygon)
+	if !ok {
+		t.Fatalf("got %#v", g)
+	}
+	// The largest part (the 10x10 square) is kept.
+	if a := p.Area(); a < 99 {
+		t.Errorf("kept part has area %v, want the 100-area square", a)
+	}
+}
+
+func TestParseEnvelope(t *testing.T) {
+	g, err := Parse("ENVELOPE (0, 2, 1, 3)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, ok := g.(geom.RectGeometry)
+	if !ok || geom.Rect(r) != (geom.Rect{MinX: 0, MinY: 1, MaxX: 2, MaxY: 3}) {
+		t.Fatalf("got %#v", g)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"CIRCLE (0 0, 1)",
+		"POINT EMPTY",
+		"POINT (1)",
+		"POINT (1 2",
+		"POINT (1 2) garbage",
+		"LINESTRING (1 1)",
+		"POLYGON ((0 0, 1 1))",
+		"ENVELOPE (2, 0, 1, 3)",
+		"ENVELOPE (0, 2, 1)",
+		"LINESTRING (a b, c d)",
+	}
+	for _, in := range cases {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q): expected error", in)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	inputs := []geom.Geometry{
+		geom.PointGeometry(geom.Point{X: 0.25, Y: -3}),
+		geom.NewLineString(geom.Point{X: 0, Y: 0}, geom.Point{X: 1.5, Y: 2.5}),
+		geom.NewPolygon(geom.Point{X: 0, Y: 0}, geom.Point{X: 2, Y: 0}, geom.Point{X: 1, Y: 2}),
+		geom.RectGeometry(geom.Rect{MinX: 0, MinY: 1, MaxX: 2, MaxY: 3}),
+	}
+	for _, g := range inputs {
+		text := Format(g)
+		back, err := Parse(text)
+		if err != nil {
+			t.Fatalf("Parse(Format(%#v)) = %v", g, err)
+		}
+		if back.MBR() != g.MBR() {
+			t.Errorf("round trip MBR changed: %v -> %v (%s)", g.MBR(), back.MBR(), text)
+		}
+	}
+}
+
+func TestRoundTripGenerated(t *testing.T) {
+	d := datagen.RealLikeDataset(datagen.Tiger, 500, 3)
+	for i := 0; i < d.Len(); i++ {
+		g := d.Geom(uint32(i))
+		back, err := Parse(Format(g))
+		if err != nil {
+			t.Fatalf("object %d: %v", i, err)
+		}
+		a, b := g.MBR(), back.MBR()
+		if a != b {
+			t.Fatalf("object %d MBR %v -> %v", i, a, b)
+		}
+	}
+}
+
+func TestFormatFallbackMBR(t *testing.T) {
+	// An unknown geometry type formats as its envelope.
+	text := Format(opaque{geom.NewLineString(geom.Point{X: 0, Y: 0}, geom.Point{X: 2, Y: 1})})
+	if !strings.HasPrefix(text, "ENVELOPE") {
+		t.Errorf("fallback = %q", text)
+	}
+}
+
+type opaque struct{ g geom.Geometry }
+
+func (o opaque) MBR() geom.Rect                  { return o.g.MBR() }
+func (o opaque) IntersectsRect(r geom.Rect) bool { return o.g.IntersectsRect(r) }
+func (o opaque) IntersectsDisk(c geom.Point, r float64) bool {
+	return o.g.IntersectsDisk(c, r)
+}

@@ -1,0 +1,77 @@
+// Package ndim is the public surface of the library's m-dimensional
+// two-layer index (Section IV-D of the paper): minimum bounding boxes of
+// any dimensionality are partitioned over a regular grid whose tiles keep
+// 2^m secondary classes, one per subset of dimensions in which a box
+// begins before the tile. Window queries skip, per tile, every class that
+// can only produce duplicates, exactly as the 2D index does with its four
+// classes.
+//
+// Typical uses are spatio-temporal data (x, y, time as a 3D box) and
+// low-dimensional feature boxes. For the plane, use the root twolayer
+// package, which is specialized and faster.
+package ndim
+
+import (
+	"github.com/twolayer/twolayer/internal/ndgrid"
+)
+
+// MBB is an m-dimensional minimum bounding box.
+type MBB = ndgrid.MBB
+
+// Entry is an (MBB, id) pair.
+type Entry = ndgrid.Entry
+
+// Options configure index construction.
+type Options = ndgrid.Options
+
+// Index is the m-dimensional two-layer grid index.
+type Index struct {
+	inner *ndgrid.Index
+}
+
+// New creates an empty index over Options.Space.
+func New(opts Options) (*Index, error) {
+	inner, err := ndgrid.New(opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Index{inner: inner}, nil
+}
+
+// Build constructs an index over entries.
+func Build(entries []Entry, opts Options) (*Index, error) {
+	inner, err := ndgrid.Build(entries, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Index{inner: inner}, nil
+}
+
+// Len returns the number of indexed objects.
+func (ix *Index) Len() int { return ix.inner.Len() }
+
+// Dims returns the dimensionality.
+func (ix *Index) Dims() int { return ix.inner.Dims() }
+
+// Insert adds one object.
+func (ix *Index) Insert(e Entry) error { return ix.inner.Insert(e) }
+
+// Window invokes fn exactly once for every object whose box intersects w.
+func (ix *Index) Window(w MBB, fn func(e Entry)) error { return ix.inner.Window(w, fn) }
+
+// WindowCount returns the number of boxes intersecting w.
+func (ix *Index) WindowCount(w MBB) (int, error) { return ix.inner.WindowCount(w) }
+
+// Ball invokes fn exactly once for every object whose box comes within
+// radius (Euclidean) of center — the m-dimensional disk query.
+func (ix *Index) Ball(center []float64, radius float64, fn func(e Entry)) error {
+	return ix.inner.Ball(center, radius, fn)
+}
+
+// BallCount returns the number of boxes within radius of center.
+func (ix *Index) BallCount(center []float64, radius float64) (int, error) {
+	return ix.inner.BallCount(center, radius)
+}
+
+// Box is a convenience constructor for an MBB.
+func Box(min, max []float64) MBB { return MBB{Min: min, Max: max} }

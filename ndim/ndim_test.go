@@ -1,0 +1,66 @@
+package ndim_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/twolayer/twolayer/ndim"
+)
+
+func TestPublicNDimAPI(t *testing.T) {
+	rnd := rand.New(rand.NewSource(1))
+	space := ndim.Box([]float64{0, 0, 0}, []float64{1, 1, 1})
+	entries := make([]ndim.Entry, 500)
+	for i := range entries {
+		x, y, z := rnd.Float64(), rnd.Float64(), rnd.Float64()
+		entries[i] = ndim.Entry{
+			Box: ndim.Box([]float64{x, y, z}, []float64{x + 0.05, y + 0.05, z + 0.05}),
+			ID:  uint32(i),
+		}
+	}
+	idx, err := ndim.Build(entries, ndim.Options{Space: space, Tiles: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.Len() != 500 || idx.Dims() != 3 {
+		t.Fatalf("Len=%d Dims=%d", idx.Len(), idx.Dims())
+	}
+
+	for q := 0; q < 50; q++ {
+		x, y, z := rnd.Float64(), rnd.Float64(), rnd.Float64()
+		w := ndim.Box([]float64{x, y, z}, []float64{x + 0.2, y + 0.2, z + 0.2})
+		want := 0
+		for _, e := range entries {
+			if e.Box.Intersects(w) {
+				want++
+			}
+		}
+		got, err := idx.WindowCount(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("query %d: got %d, want %d", q, got, want)
+		}
+	}
+
+	// Dynamic insert through the public API.
+	fresh, err := ndim.New(ndim.Options{Space: space, Tiles: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.Insert(entries[0]); err != nil {
+		t.Fatal(err)
+	}
+	n, err := fresh.WindowCount(space)
+	if err != nil || n != 1 {
+		t.Fatalf("after insert: n=%d err=%v", n, err)
+	}
+	// Errors surface instead of panicking.
+	if _, err := ndim.New(ndim.Options{}); err == nil {
+		t.Error("missing space must error")
+	}
+	if err := fresh.Insert(ndim.Entry{Box: ndim.Box([]float64{0}, []float64{1})}); err == nil {
+		t.Error("wrong-dimension insert must error")
+	}
+}

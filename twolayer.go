@@ -1,0 +1,341 @@
+// Package twolayer is an in-memory spatial index for non-point objects
+// (rectangles, polygons, linestrings), implementing the two-layer
+// partitioning of Tsitsigkos et al., "A Two-layer Partitioning for
+// Non-point Spatial Data" (ICDE 2021).
+//
+// The index is a regular grid whose tiles are secondarily partitioned
+// into four object classes. Range queries read, per tile, only the
+// classes that cannot produce duplicate results, so — unlike classic
+// replicating grid indices — no duplicate is ever generated or
+// eliminated, and border tiles need at most one coordinate comparison per
+// object and dimension. An optional decomposed storage mode ("2-layer+")
+// answers border tiles with binary searches on sorted coordinate tables.
+//
+// # Quick start
+//
+//	objects := []twolayer.Rect{
+//		{MinX: 0.1, MinY: 0.1, MaxX: 0.2, MaxY: 0.2},
+//		{MinX: 0.5, MinY: 0.4, MaxX: 0.8, MaxY: 0.6},
+//	}
+//	idx := twolayer.BuildRects(objects, twolayer.Options{GridSize: 64})
+//	idx.Window(twolayer.Rect{MinX: 0, MinY: 0, MaxX: 0.5, MaxY: 0.5},
+//		func(id uint32, mbr twolayer.Rect) { fmt.Println(id, mbr) })
+//
+// Exact (non-rectangular) geometries are supported through BuildGeoms;
+// window and disk queries over them use a secondary filter that skips the
+// expensive refinement step for most results. Batches of queries can be
+// evaluated with cache-conscious tile-at-a-time processing, serially or
+// on all cores.
+package twolayer
+
+import (
+	"io"
+
+	"github.com/twolayer/twolayer/internal/core"
+	"github.com/twolayer/twolayer/internal/geom"
+	"github.com/twolayer/twolayer/internal/spatial"
+)
+
+// Geometric types of the public API.
+type (
+	// Point is a location in the plane.
+	Point = geom.Point
+	// Rect is an axis-parallel rectangle (an object MBR or a query
+	// window).
+	Rect = geom.Rect
+	// Disk is a circular query range.
+	Disk = geom.Disk
+	// LineString is a polyline geometry.
+	LineString = geom.LineString
+	// Polygon is a simple polygon geometry.
+	Polygon = geom.Polygon
+	// Geometry is the interface exact object representations implement.
+	Geometry = geom.Geometry
+	// ID identifies an object; a dataset of n objects uses IDs 0..n-1.
+	ID = spatial.ID
+	// Stats carries instrumentation counters (see Index.EnableStats).
+	Stats = core.Stats
+	// Neighbor is one k-nearest-neighbor result.
+	Neighbor = core.Neighbor
+	// Region is an arbitrary-shape query range (Disk and *Polygon
+	// implement it).
+	Region = core.Region
+)
+
+// NewLineString constructs a polyline from at least two points.
+func NewLineString(pts ...Point) *LineString { return geom.NewLineString(pts...) }
+
+// NewPolygon constructs a simple polygon from at least three vertices.
+func NewPolygon(ring ...Point) *Polygon { return geom.NewPolygon(ring...) }
+
+// RefineMode selects how exact-geometry queries refine candidates.
+type RefineMode = core.RefineMode
+
+// Refinement modes for WindowExact and DiskExact.
+const (
+	// RefineSimple refines every candidate with an exact geometry test.
+	RefineSimple = core.RefineSimple
+	// RefineAvoid applies the MBR secondary filter first (Lemma 5),
+	// skipping refinement for candidates it proves are results.
+	RefineAvoid = core.RefineAvoid
+	// RefineAvoidPlus additionally uses class knowledge to shrink the
+	// secondary filter itself. The recommended default.
+	RefineAvoidPlus = core.RefineAvoidPlus
+)
+
+// BatchStrategy selects how query batches are evaluated.
+type BatchStrategy = core.BatchStrategy
+
+// Batch strategies for BatchWindow.
+const (
+	// QueriesBased evaluates queries independently (cache agnostic).
+	QueriesBased = core.QueriesBased
+	// TilesBased groups work per tile for cache locality; it scales
+	// better with threads. The recommended default for large batches.
+	TilesBased = core.TilesBased
+)
+
+// Options configure index construction.
+type Options struct {
+	// GridSize is the number of tiles per dimension. When zero (and NX,
+	// NY are zero), BuildRects and BuildGeoms auto-tune it from the data
+	// size (~1 object per tile, the paper's broad optimum); New defaults
+	// to 256. For a non-square grid set NX and NY instead.
+	GridSize int
+	// NX, NY override GridSize per dimension.
+	NX, NY int
+	// Space is the indexed region. Defaults to the bounding rectangle of
+	// the data (objects may still stick out; border tiles absorb them).
+	Space Rect
+	// Decompose builds the sorted coordinate tables of the 2-layer+
+	// variant: faster window queries on static data for ~2x the memory.
+	Decompose bool
+}
+
+func (o Options) toCore() core.Options {
+	nx, ny := o.NX, o.NY
+	if nx == 0 {
+		nx = o.GridSize
+	}
+	if ny == 0 {
+		ny = o.GridSize
+	}
+	return core.Options{NX: nx, NY: ny, Space: o.Space, Decompose: o.Decompose}
+}
+
+// Index is a two-layer partitioned spatial index. It is safe for
+// concurrent readers; updates and stats collection require external
+// synchronization.
+type Index struct {
+	core    *core.Index
+	dataset *spatial.Dataset
+}
+
+// BuildRects builds an index over rectangle objects. Object i gets ID i.
+func BuildRects(rects []Rect, opts Options) *Index {
+	d := spatial.NewDataset(rects)
+	return &Index{core: core.Build(d, opts.autoTuned(d.Len())), dataset: d}
+}
+
+// BuildGeoms builds an index over exact geometries (indexed by their
+// MBRs). Object i gets ID i.
+func BuildGeoms(geoms []Geometry, opts Options) *Index {
+	d := spatial.NewGeomDataset(geoms)
+	return &Index{core: core.Build(d, opts.autoTuned(d.Len())), dataset: d}
+}
+
+// autoTuned fills in a data-driven grid size when none was requested.
+func (o Options) autoTuned(n int) core.Options {
+	if o.GridSize == 0 && o.NX == 0 && o.NY == 0 {
+		o.GridSize = core.SuggestGridSize(n)
+	}
+	return o.toCore()
+}
+
+// New returns an empty, updatable index over the given space. Options.
+// Space must be set (there is no data to derive it from).
+func New(opts Options) *Index {
+	return &Index{core: core.New(opts.toCore())}
+}
+
+// Len returns the number of objects in the index.
+func (ix *Index) Len() int { return ix.core.Len() }
+
+// Window invokes fn exactly once for each object whose MBR intersects w.
+// This is the filtering step: results are candidates by MBR; use
+// WindowExact for exact-geometry results.
+func (ix *Index) Window(w Rect, fn func(id ID, mbr Rect)) {
+	ix.core.Window(w, func(e spatial.Entry) { fn(e.ID, e.Rect) })
+}
+
+// WindowIDs returns the IDs of all objects whose MBR intersects w,
+// appending to buf (which may be nil).
+func (ix *Index) WindowIDs(w Rect, buf []ID) []ID {
+	return ix.core.WindowIDs(w, buf)
+}
+
+// WindowCount returns the number of objects whose MBR intersects w.
+func (ix *Index) WindowCount(w Rect) int { return ix.core.WindowCount(w) }
+
+// Disk invokes fn exactly once for each object whose MBR intersects the
+// disk with the given center and radius.
+func (ix *Index) Disk(center Point, radius float64, fn func(id ID, mbr Rect)) {
+	ix.core.Disk(center, radius, func(e spatial.Entry) { fn(e.ID, e.Rect) })
+}
+
+// DiskIDs returns the IDs of all objects whose MBR intersects the disk.
+func (ix *Index) DiskIDs(center Point, radius float64, buf []ID) []ID {
+	return ix.core.DiskIDs(center, radius, buf)
+}
+
+// DiskCount returns the number of objects whose MBR intersects the disk.
+func (ix *Index) DiskCount(center Point, radius float64) int {
+	return ix.core.DiskCount(center, radius)
+}
+
+// Query evaluates a range query with an arbitrary region shape (e.g., a
+// polygon): fn is invoked exactly once for each object whose MBR
+// intersects the region.
+func (ix *Index) Query(region Region, fn func(id ID, mbr Rect)) {
+	ix.core.Query(region, func(e spatial.Entry) { fn(e.ID, e.Rect) })
+}
+
+// QueryCount returns the number of objects whose MBR intersects the
+// region.
+func (ix *Index) QueryCount(region Region) int { return ix.core.QueryCount(region) }
+
+// WindowExact invokes fn exactly once for each object whose exact
+// geometry intersects w, using the given refinement mode.
+func (ix *Index) WindowExact(w Rect, mode RefineMode, fn func(id ID)) {
+	ix.core.WindowExact(w, mode, fn)
+}
+
+// DiskExact invokes fn exactly once for each object whose exact geometry
+// intersects the disk.
+func (ix *Index) DiskExact(center Point, radius float64, mode RefineMode, fn func(id ID)) {
+	ix.core.DiskExact(center, radius, mode, fn)
+}
+
+// BatchWindow evaluates a batch of window queries; fn receives the query
+// index with each result and must be safe for concurrent use when
+// threads != 1. threads <= 0 uses all cores.
+func (ix *Index) BatchWindow(queries []Rect, strategy BatchStrategy, threads int, fn func(q int, id ID)) {
+	ix.core.BatchWindow(queries, strategy, threads, func(q int, e spatial.Entry) { fn(q, e.ID) })
+}
+
+// BatchWindowCounts evaluates a batch and returns per-query result counts.
+func (ix *Index) BatchWindowCounts(queries []Rect, strategy BatchStrategy, threads int) []int {
+	return ix.core.BatchWindowCounts(queries, strategy, threads)
+}
+
+// BatchDisk evaluates a batch of disk queries; fn receives the query
+// index with each result and must be safe for concurrent use when
+// threads != 1.
+func (ix *Index) BatchDisk(queries []Disk, strategy BatchStrategy, threads int, fn func(q int, id ID)) {
+	ix.core.BatchDisk(queries, strategy, threads, func(q int, e spatial.Entry) { fn(q, e.ID) })
+}
+
+// BatchDiskCounts evaluates a disk batch and returns per-query counts.
+func (ix *Index) BatchDiskCounts(queries []Disk, strategy BatchStrategy, threads int) []int {
+	return ix.core.BatchDiskCounts(queries, strategy, threads)
+}
+
+// Insert adds an object with the given ID and MBR. Exact geometries
+// cannot be attached after construction; indices built with New support
+// MBR (filtering) queries only.
+func (ix *Index) Insert(id ID, mbr Rect) {
+	ix.core.Insert(spatial.Entry{Rect: mbr, ID: id})
+}
+
+// Delete removes the object with the given ID, which must be passed the
+// exact MBR it was inserted with. It reports whether the object was
+// found.
+func (ix *Index) Delete(id ID, mbr Rect) bool { return ix.core.Delete(id, mbr) }
+
+// RebuildDecomposed (re)builds the decomposed tables after updates, for
+// indices using the 2-layer+ mode.
+func (ix *Index) RebuildDecomposed() { ix.core.BuildDecomposed() }
+
+// KNN returns the k objects whose MBRs are nearest to q, ascending by
+// distance. Like updates, KNN requires external synchronization (it
+// reuses per-index scratch space).
+func (ix *Index) KNN(q Point, k int) []Neighbor { return ix.core.KNN(q, k) }
+
+// KNNExact returns the k objects whose exact geometries are nearest to q,
+// ascending by true geometric distance. Requires an index built with
+// BuildGeoms or BuildRects.
+func (ix *Index) KNNExact(q Point, k int) []Neighbor { return ix.core.KNNExact(q, k) }
+
+// Join computes the spatial intersection join with another index built
+// over the same grid geometry (same GridSize/NX/NY and Space): fn is
+// invoked exactly once for every pair of objects whose MBRs intersect,
+// with no duplicate pairs. Join panics on incompatible grids.
+func (ix *Index) Join(other *Index, fn func(rID, sID ID)) {
+	ix.core.Join(other.core, func(r, s spatial.Entry) { fn(r.ID, s.ID) })
+}
+
+// JoinCount returns the number of intersecting pairs between the two
+// indices.
+func (ix *Index) JoinCount(other *Index) int { return ix.core.JoinCount(other.core) }
+
+// WindowParallel evaluates one (large) window query with the cover's
+// tile rows spread over threads; fn must be safe for concurrent use.
+// Small covers fall back to the serial path.
+func (ix *Index) WindowParallel(w Rect, threads int, fn func(id ID, mbr Rect)) {
+	ix.core.WindowParallel(w, threads, func(e spatial.Entry) { fn(e.ID, e.Rect) })
+}
+
+// JoinParallel runs the spatial join with tiles distributed over
+// threads; fn must be safe for concurrent use.
+func (ix *Index) JoinParallel(other *Index, threads int, fn func(rID, sID ID)) {
+	ix.core.JoinParallel(other.core, threads, func(r, s spatial.Entry) { fn(r.ID, s.ID) })
+}
+
+// EstimateWindow predicts the result cardinality of a window query from
+// the grid's per-tile counts in O(tiles covered) time, without touching
+// entries. It assumes uniform mass within each tile and undercounts
+// heavily replicated objects.
+func (ix *Index) EstimateWindow(w Rect) float64 { return ix.core.EstimateWindow(w) }
+
+// WindowUntil streams filtering results until fn returns false,
+// reporting whether the query ran to completion. Termination is
+// tile-granular.
+func (ix *Index) WindowUntil(w Rect, fn func(id ID, mbr Rect) bool) bool {
+	return ix.core.WindowUntil(w, func(e spatial.Entry) bool { return fn(e.ID, e.Rect) })
+}
+
+// Intersects reports whether any object MBR intersects w, stopping at
+// the first hit.
+func (ix *Index) Intersects(w Rect) bool { return ix.core.Intersects(w) }
+
+// Save writes a compact binary snapshot of the built index structure, so
+// a static index can later be loaded without re-partitioning. Exact
+// geometries are not part of the snapshot; a loaded index answers all
+// MBR (filtering) queries.
+func (ix *Index) Save(w io.Writer) (int64, error) { return ix.core.WriteTo(w) }
+
+// Load reads an index snapshot written by Save.
+func Load(r io.Reader) (*Index, error) {
+	inner, err := core.Load(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Index{core: inner}, nil
+}
+
+// EnableStats attaches a counter set that queries will update. Queries
+// become single-threaded while stats are enabled. Returns the live Stats.
+func (ix *Index) EnableStats() *Stats {
+	s := &Stats{}
+	ix.core.Stats = s
+	return s
+}
+
+// DisableStats detaches the counter set.
+func (ix *Index) DisableStats() { ix.core.Stats = nil }
+
+// ReplicationFactor reports stored entries (with replicas) per object.
+func (ix *Index) ReplicationFactor() float64 { return ix.core.ReplicationFactor() }
+
+// MemoryFootprint approximates the index's entry storage in bytes.
+func (ix *Index) MemoryFootprint() int { return ix.core.MemoryFootprint() }

@@ -1,0 +1,284 @@
+package twolayer_test
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	twolayer "github.com/twolayer/twolayer"
+)
+
+func randRects(rnd *rand.Rand, n int, maxSide float64) []twolayer.Rect {
+	rects := make([]twolayer.Rect, n)
+	for i := range rects {
+		x, y := rnd.Float64(), rnd.Float64()
+		rects[i] = twolayer.Rect{MinX: x, MinY: y, MaxX: x + rnd.Float64()*maxSide, MaxY: y + rnd.Float64()*maxSide}
+	}
+	return rects
+}
+
+func bruteWindow(rects []twolayer.Rect, w twolayer.Rect) []twolayer.ID {
+	var out []twolayer.ID
+	for i, r := range rects {
+		if r.Intersects(w) {
+			out = append(out, twolayer.ID(i))
+		}
+	}
+	return out
+}
+
+func sorted(ids []twolayer.ID) []twolayer.ID {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func TestPublicWindowAPI(t *testing.T) {
+	rnd := rand.New(rand.NewSource(1))
+	rects := randRects(rnd, 1000, 0.05)
+	idx := twolayer.BuildRects(rects, twolayer.Options{GridSize: 32, Decompose: true})
+	if idx.Len() != 1000 {
+		t.Fatalf("Len = %d", idx.Len())
+	}
+	for q := 0; q < 30; q++ {
+		x, y := rnd.Float64(), rnd.Float64()
+		w := twolayer.Rect{MinX: x, MinY: y, MaxX: x + 0.2, MaxY: y + 0.2}
+		want := sorted(bruteWindow(rects, w))
+		got := sorted(idx.WindowIDs(w, nil))
+		if len(got) != len(want) {
+			t.Fatalf("got %d, want %d", len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("mismatch at %d", i)
+			}
+		}
+		if n := idx.WindowCount(w); n != len(want) {
+			t.Fatalf("count %d, want %d", n, len(want))
+		}
+		calls := 0
+		idx.Window(w, func(id twolayer.ID, mbr twolayer.Rect) {
+			if mbr != rects[id] {
+				t.Fatalf("callback MBR mismatch for %d", id)
+			}
+			calls++
+		})
+		if calls != len(want) {
+			t.Fatalf("visitor called %d times, want %d", calls, len(want))
+		}
+	}
+}
+
+func TestPublicDiskAPI(t *testing.T) {
+	rnd := rand.New(rand.NewSource(2))
+	rects := randRects(rnd, 500, 0.05)
+	idx := twolayer.BuildRects(rects, twolayer.Options{GridSize: 16})
+	c := twolayer.Point{X: 0.5, Y: 0.5}
+	got := idx.DiskIDs(c, 0.2, nil)
+	want := 0
+	for _, r := range rects {
+		if r.IntersectsDisk(c, 0.2) {
+			want++
+		}
+	}
+	if len(got) != want || idx.DiskCount(c, 0.2) != want {
+		t.Fatalf("disk results %d, want %d", len(got), want)
+	}
+}
+
+func TestPublicExactAPI(t *testing.T) {
+	geoms := []twolayer.Geometry{
+		twolayer.NewPolygon(
+			twolayer.Point{X: 0.1, Y: 0.1},
+			twolayer.Point{X: 0.3, Y: 0.1},
+			twolayer.Point{X: 0.2, Y: 0.3},
+		),
+		twolayer.NewLineString(
+			twolayer.Point{X: 0.6, Y: 0.6},
+			twolayer.Point{X: 0.9, Y: 0.9},
+		),
+	}
+	idx := twolayer.BuildGeoms(geoms, twolayer.Options{GridSize: 8})
+	var hits []twolayer.ID
+	// A window overlapping the polygon's MBR corner but not the polygon.
+	w := twolayer.Rect{MinX: 0.27, MinY: 0.25, MaxX: 0.5, MaxY: 0.5}
+	idx.WindowExact(w, twolayer.RefineAvoidPlus, func(id twolayer.ID) { hits = append(hits, id) })
+	if len(hits) != 0 {
+		t.Fatalf("refinement failed to reject MBR-only candidate: %v", hits)
+	}
+	// A disk touching the linestring.
+	hits = hits[:0]
+	idx.DiskExact(twolayer.Point{X: 0.75, Y: 0.75}, 0.01, twolayer.RefineAvoid,
+		func(id twolayer.ID) { hits = append(hits, id) })
+	if len(hits) != 1 || hits[0] != 1 {
+		t.Fatalf("disk exact hits = %v, want [1]", hits)
+	}
+}
+
+func TestPublicBatchAPI(t *testing.T) {
+	rnd := rand.New(rand.NewSource(3))
+	rects := randRects(rnd, 800, 0.05)
+	idx := twolayer.BuildRects(rects, twolayer.Options{GridSize: 16})
+	queries := make([]twolayer.Rect, 50)
+	for i := range queries {
+		x, y := rnd.Float64(), rnd.Float64()
+		queries[i] = twolayer.Rect{MinX: x, MinY: y, MaxX: x + 0.1, MaxY: y + 0.1}
+	}
+	serial := idx.BatchWindowCounts(queries, twolayer.QueriesBased, 1)
+	tiles := idx.BatchWindowCounts(queries, twolayer.TilesBased, 4)
+	for i := range queries {
+		if serial[i] != tiles[i] {
+			t.Fatalf("query %d: %d != %d", i, serial[i], tiles[i])
+		}
+		if want := len(bruteWindow(rects, queries[i])); serial[i] != want {
+			t.Fatalf("query %d: %d, want %d", i, serial[i], want)
+		}
+	}
+}
+
+func TestPublicUpdateAPI(t *testing.T) {
+	idx := twolayer.New(twolayer.Options{GridSize: 8, Space: twolayer.Rect{MaxX: 1, MaxY: 1}})
+	r := twolayer.Rect{MinX: 0.4, MinY: 0.4, MaxX: 0.6, MaxY: 0.6}
+	idx.Insert(7, r)
+	if idx.WindowCount(twolayer.Rect{MaxX: 1, MaxY: 1}) != 1 {
+		t.Fatal("inserted object not found")
+	}
+	if !idx.Delete(7, r) {
+		t.Fatal("delete failed")
+	}
+	if idx.WindowCount(twolayer.Rect{MaxX: 1, MaxY: 1}) != 0 {
+		t.Fatal("object survived delete")
+	}
+}
+
+func TestPublicStatsAPI(t *testing.T) {
+	rnd := rand.New(rand.NewSource(4))
+	idx := twolayer.BuildRects(randRects(rnd, 500, 0.1), twolayer.Options{GridSize: 16})
+	s := idx.EnableStats()
+	idx.WindowCount(twolayer.Rect{MinX: 0.2, MinY: 0.2, MaxX: 0.8, MaxY: 0.8})
+	if s.TilesVisited == 0 || s.Results == 0 {
+		t.Errorf("stats not collected: %+v", s)
+	}
+	idx.DisableStats()
+	before := s.Results
+	idx.WindowCount(twolayer.Rect{MinX: 0.2, MinY: 0.2, MaxX: 0.8, MaxY: 0.8})
+	if s.Results != before {
+		t.Error("stats still collected after DisableStats")
+	}
+	if idx.ReplicationFactor() < 1 || idx.MemoryFootprint() <= 0 {
+		t.Error("reporting helpers wrong")
+	}
+}
+
+func TestPublicKNNAndJoin(t *testing.T) {
+	rnd := rand.New(rand.NewSource(6))
+	space := twolayer.Rect{MaxX: 1.2, MaxY: 1.2}
+	a := twolayer.BuildRects(randRects(rnd, 400, 0.05), twolayer.Options{GridSize: 16, Space: space})
+	bRects := randRects(rnd, 400, 0.05)
+	b := twolayer.BuildRects(bRects, twolayer.Options{GridSize: 16, Space: space})
+
+	q := twolayer.Point{X: 0.5, Y: 0.5}
+	nn := a.KNN(q, 7)
+	if len(nn) != 7 {
+		t.Fatalf("KNN returned %d", len(nn))
+	}
+	for i := 1; i < len(nn); i++ {
+		if nn[i].Dist < nn[i-1].Dist {
+			t.Fatal("KNN not sorted")
+		}
+	}
+
+	pairs := 0
+	a.Join(b, func(_, _ twolayer.ID) { pairs++ })
+	if pairs != a.JoinCount(b) {
+		t.Fatal("Join and JoinCount disagree")
+	}
+	want := 0
+	a.Window(twolayer.Rect{MaxX: 2, MaxY: 2}, func(id twolayer.ID, mbr twolayer.Rect) {
+		for _, s := range bRects {
+			if mbr.Intersects(s) {
+				want++
+			}
+		}
+	})
+	if pairs != want {
+		t.Fatalf("join pairs %d, want %d", pairs, want)
+	}
+}
+
+func TestPublicParallelEstimateUntil(t *testing.T) {
+	rnd := rand.New(rand.NewSource(8))
+	space := twolayer.Rect{MaxX: 1.2, MaxY: 1.2}
+	rects := randRects(rnd, 1000, 0.05)
+	idx := twolayer.BuildRects(rects, twolayer.Options{GridSize: 32, Space: space})
+
+	w := twolayer.Rect{MinX: 0.1, MinY: 0.1, MaxX: 0.9, MaxY: 0.9}
+	want := idx.WindowCount(w)
+
+	var n int64
+	var mu sync.Mutex
+	idx.WindowParallel(w, 4, func(twolayer.ID, twolayer.Rect) {
+		mu.Lock()
+		n++
+		mu.Unlock()
+	})
+	if int(n) != want {
+		t.Fatalf("WindowParallel found %d, want %d", n, want)
+	}
+
+	if est := idx.EstimateWindow(w); est <= 0 {
+		t.Fatalf("EstimateWindow = %v", est)
+	}
+	if !idx.Intersects(w) {
+		t.Fatal("Intersects missed data")
+	}
+	stops := 0
+	idx.WindowUntil(w, func(twolayer.ID, twolayer.Rect) bool {
+		stops++
+		return stops < 3
+	})
+	if stops != 3 {
+		t.Fatalf("WindowUntil visited %d", stops)
+	}
+
+	other := twolayer.BuildRects(randRects(rnd, 1000, 0.05), twolayer.Options{GridSize: 32, Space: space})
+	serialPairs := idx.JoinCount(other)
+	var pairs int64
+	idx.JoinParallel(other, 4, func(_, _ twolayer.ID) {
+		mu.Lock()
+		pairs++
+		mu.Unlock()
+	})
+	if int(pairs) != serialPairs {
+		t.Fatalf("JoinParallel found %d pairs, want %d", pairs, serialPairs)
+	}
+}
+
+func TestAutoTunedGridSize(t *testing.T) {
+	rnd := rand.New(rand.NewSource(9))
+	rects := randRects(rnd, 5000, 0.01)
+	idx := twolayer.BuildRects(rects, twolayer.Options{}) // no grid given
+	w := twolayer.Rect{MinX: 0.2, MinY: 0.2, MaxX: 0.4, MaxY: 0.4}
+	want := len(bruteWindow(rects, w))
+	if got := idx.WindowCount(w); got != want {
+		t.Fatalf("auto-tuned index returned %d, want %d", got, want)
+	}
+}
+
+func TestDecomposedRebuild(t *testing.T) {
+	rnd := rand.New(rand.NewSource(5))
+	rects := randRects(rnd, 300, 0.05)
+	idx := twolayer.BuildRects(rects, twolayer.Options{GridSize: 8, Decompose: true})
+	idx.Insert(1000, twolayer.Rect{MinX: 0.5, MinY: 0.5, MaxX: 0.55, MaxY: 0.55})
+	idx.RebuildDecomposed()
+	w := twolayer.Rect{MinX: 0.45, MinY: 0.45, MaxX: 0.6, MaxY: 0.6}
+	found := false
+	idx.Window(w, func(id twolayer.ID, _ twolayer.Rect) {
+		if id == 1000 {
+			found = true
+		}
+	})
+	if !found {
+		t.Fatal("inserted object missing after rebuild")
+	}
+}
