@@ -1,0 +1,28 @@
+# Standard verify entry point: `make check` is what CI and pre-commit
+# runs — build everything, vet, then the full test suite under the race
+# detector (the server package's concurrency tests depend on it).
+
+GO ?= go
+
+.PHONY: check build vet test test-race bench experiments
+
+check: build vet test-race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# Tier-1 test run (what the paper-reproduction harness requires).
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem
+
+experiments:
+	$(GO) run ./cmd/experiments -exp all

@@ -1,0 +1,156 @@
+// Command spatialserver serves spatial queries over a two-layer index as
+// a long-lived HTTP/JSON service: POST /query/{window,disk,knn,batch},
+// with GET /metrics, /stats, and /healthz for observability. The index is
+// built once from a dataset file (or loaded from a binary snapshot) and
+// then served concurrently; the process shuts down gracefully on SIGINT
+// or SIGTERM.
+//
+// Usage:
+//
+//	spatialserver -data roads.csv -addr :8080
+//	spatialserver -data roads.wkt -grid 1024 -save roads.idx
+//	spatialserver -snapshot roads.idx -pprof
+//
+// See docs/SERVER.md for the API reference and operations guide.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log/slog"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	twolayer "github.com/twolayer/twolayer"
+	"github.com/twolayer/twolayer/internal/dataio"
+	"github.com/twolayer/twolayer/internal/server"
+)
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}
+
+// loadIndex builds the index from -data (CSV or WKT, with exact
+// geometries) or loads a -snapshot (MBR-only).
+func loadIndex(dataPath, snapshotPath string, gridSize int, decompose bool, logger *slog.Logger) *twolayer.Index {
+	switch {
+	case dataPath != "" && snapshotPath != "":
+		fail(fmt.Errorf("-data and -snapshot are mutually exclusive"))
+	case dataPath != "":
+		f, err := os.Open(dataPath)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		var geoms []twolayer.Geometry
+		if strings.HasSuffix(dataPath, ".wkt") {
+			d, err := dataio.ReadWKT(f)
+			if err != nil {
+				fail(fmt.Errorf("%s: %w", dataPath, err))
+			}
+			geoms = datasetGeoms(d.Len(), d.Geom)
+		} else {
+			d, err := dataio.ReadDataset(f)
+			if err != nil {
+				fail(fmt.Errorf("%s: %w", dataPath, err))
+			}
+			geoms = datasetGeoms(d.Len(), d.Geom)
+		}
+		start := time.Now()
+		idx := twolayer.BuildGeoms(geoms, twolayer.Options{GridSize: gridSize, Decompose: decompose})
+		nx, ny := idx.GridDims()
+		logger.Info("index built",
+			"objects", idx.Len(),
+			"grid", fmt.Sprintf("%dx%d", nx, ny),
+			"replication", fmt.Sprintf("%.3f", idx.ReplicationFactor()),
+			"elapsed", time.Since(start).Round(time.Millisecond))
+		return idx
+	case snapshotPath != "":
+		f, err := os.Open(snapshotPath)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		start := time.Now()
+		idx, err := twolayer.Load(f)
+		if err != nil {
+			fail(fmt.Errorf("%s: %w", snapshotPath, err))
+		}
+		logger.Info("snapshot loaded",
+			"objects", idx.Len(),
+			"elapsed", time.Since(start).Round(time.Millisecond))
+		return idx
+	}
+	fail(fmt.Errorf("one of -data or -snapshot is required"))
+	panic("unreachable")
+}
+
+func datasetGeoms(n int, geom func(uint32) twolayer.Geometry) []twolayer.Geometry {
+	geoms := make([]twolayer.Geometry, n)
+	for i := range geoms {
+		geoms[i] = geom(uint32(i))
+	}
+	return geoms
+}
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	dataPath := flag.String("data", "", "dataset file to index (CSV, or WKT if the name ends in .wkt)")
+	snapshotPath := flag.String("snapshot", "", "binary index snapshot to load instead of -data (MBR queries only)")
+	savePath := flag.String("save", "", "after building from -data, write a snapshot here")
+	gridSize := flag.Int("grid", 0, "grid tiles per dimension (0 = auto-tune from data size)")
+	decompose := flag.Bool("decompose", true, "build 2-layer+ decomposed tables")
+	timeout := flag.Duration("timeout", server.DefaultRequestTimeout, "per-request evaluation deadline")
+	maxBody := flag.Int64("max-body", server.DefaultMaxBodyBytes, "maximum request body size in bytes")
+	stats := flag.Bool("stats", true, "aggregate per-query core counters for GET /stats")
+	pprofFlag := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
+	flag.Parse()
+
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		fail(fmt.Errorf("-log-level: %w", err))
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+
+	idx := loadIndex(*dataPath, *snapshotPath, *gridSize, *decompose, logger)
+	if *savePath != "" {
+		if *dataPath == "" {
+			fail(fmt.Errorf("-save requires -data"))
+		}
+		f, err := os.Create(*savePath)
+		if err != nil {
+			fail(err)
+		}
+		n, err := idx.Save(f)
+		if err == nil {
+			err = f.Close()
+		}
+		if err != nil {
+			fail(fmt.Errorf("saving snapshot: %w", err))
+		}
+		logger.Info("snapshot saved", "path", *savePath, "bytes", n)
+	}
+
+	srv := server.New(server.Config{
+		Index:          idx,
+		Logger:         logger,
+		RequestTimeout: *timeout,
+		MaxBodyBytes:   *maxBody,
+		CollectStats:   *stats,
+		EnablePprof:    *pprofFlag,
+	})
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	logger.Info("serving", "addr", *addr, "pprof", *pprofFlag, "stats", *stats, "timeout", *timeout)
+	if err := srv.ListenAndServe(ctx, *addr); err != nil {
+		fail(err)
+	}
+	logger.Info("shutdown complete")
+}

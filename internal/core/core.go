@@ -120,7 +120,9 @@ func (t *tile) size() int {
 }
 
 // Index is the two-layer grid index. It is safe for concurrent readers;
-// updates require external synchronization (as does any use of Stats).
+// updates require external synchronization, as do kNN queries (shared
+// scratch space) and exclusive-mode stats collection. Use View to obtain
+// per-goroutine read views that lift both restrictions on a static index.
 type Index struct {
 	g    *grid.Grid
 	opts Options
@@ -136,8 +138,26 @@ type Index struct {
 	knn     *knnState        // lazily allocated kNN scratch space
 
 	// Stats, when non-nil, accumulates instrumentation counters during
-	// queries. Setting it makes queries unsafe for concurrent use.
+	// queries (exclusive mode: see the Stats type). Setting it on a shared
+	// Index makes queries unsafe for concurrent use; for concurrent
+	// collection attach a private Stats to each View instead.
 	Stats *Stats
+}
+
+// View returns a shallow read view of the index: it shares all partition
+// storage with ix but owns its Stats slot (set to s, which may be nil)
+// and its kNN scratch space. Any number of views can evaluate queries —
+// including kNN and stats-instrumented queries — concurrently, as long as
+// no goroutine updates the underlying index. Views are read-only: calling
+// Insert, Delete, or BuildDecomposed on a view corrupts the shared state.
+//
+// A view costs one small allocation, so creating one per request (or per
+// worker) is cheap. Merge per-view counters with AtomicStats.Observe.
+func (ix *Index) View(s *Stats) *Index {
+	cp := *ix
+	cp.knn = nil // detach shared kNN scratch; the view grows its own
+	cp.Stats = s
+	return &cp
 }
 
 // New builds an empty two-layer index.

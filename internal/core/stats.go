@@ -1,11 +1,25 @@
 package core
 
-// Stats collects instrumentation counters during query evaluation. Attach
-// a Stats to Index.Stats to enable counting; queries then take a slower
-// instrumented path and must not run concurrently. Counters let tests
-// assert the paper's analytical claims (e.g., Corollary 1: at most two
-// comparisons per rectangle in relevant tiles of a multi-tile window
-// query) and power the Figure 6 work breakdowns.
+import "sync/atomic"
+
+// Stats collects instrumentation counters during query evaluation.
+// Counters let tests assert the paper's analytical claims (e.g.,
+// Corollary 1: at most two comparisons per rectangle in relevant tiles of
+// a multi-tile window query) and power the Figure 6 work breakdowns.
+//
+// There are two ways to collect stats, for two different situations:
+//
+//   - Exclusive mode: attach a Stats directly to Index.Stats. Queries then
+//     take the instrumented path and write the counters without
+//     synchronization, so queries must not run concurrently while the
+//     field is set. This is the right mode for single-threaded
+//     experiments and tests.
+//
+//   - Concurrent mode: give each in-flight query its own view of the
+//     index via Index.View, each carrying a private Stats, and merge the
+//     per-query counters into a shared AtomicStats afterwards. Any number
+//     of views can run queries concurrently (with each other and with
+//     uninstrumented readers). This is the right mode for servers.
 type Stats struct {
 	// TilesVisited counts tiles examined across queries.
 	TilesVisited int64
@@ -53,4 +67,65 @@ func (s *Stats) Add(o *Stats) {
 	s.SecondaryFilterHits += o.SecondaryFilterHits
 	s.RefinementTests += o.RefinementTests
 	s.DistanceComputations += o.DistanceComputations
+}
+
+// AtomicStats is a concurrency-safe accumulator of query counters. It is
+// the aggregation half of the concurrent stats mode (see Stats): each
+// query runs on an Index.View with a private Stats, then calls Observe
+// once to merge its counters. The zero value is ready to use.
+type AtomicStats struct {
+	queries atomic.Int64
+
+	tilesVisited      atomic.Int64
+	partitionsScanned atomic.Int64
+	entriesScanned    atomic.Int64
+	comparisons       atomic.Int64
+	results           atomic.Int64
+	duplicatesAvoided atomic.Int64
+	binarySearches    atomic.Int64
+
+	secondaryFilterTests atomic.Int64
+	secondaryFilterHits  atomic.Int64
+	refinementTests      atomic.Int64
+	distanceComputations atomic.Int64
+}
+
+// Observe merges the counters of one finished query (or batch of queries
+// measured together) into the accumulator. Safe for concurrent use.
+func (a *AtomicStats) Observe(s *Stats) {
+	a.queries.Add(1)
+	a.tilesVisited.Add(s.TilesVisited)
+	a.partitionsScanned.Add(s.PartitionsScanned)
+	a.entriesScanned.Add(s.EntriesScanned)
+	a.comparisons.Add(s.Comparisons)
+	a.results.Add(s.Results)
+	a.duplicatesAvoided.Add(s.DuplicatesAvoided)
+	a.binarySearches.Add(s.BinarySearches)
+	a.secondaryFilterTests.Add(s.SecondaryFilterTests)
+	a.secondaryFilterHits.Add(s.SecondaryFilterHits)
+	a.refinementTests.Add(s.RefinementTests)
+	a.distanceComputations.Add(s.DistanceComputations)
+}
+
+// Queries returns how many times Observe has been called.
+func (a *AtomicStats) Queries() int64 { return a.queries.Load() }
+
+// Snapshot returns a point-in-time copy of the accumulated counters.
+// Individual counters are read atomically; the snapshot as a whole is not
+// a single atomic cut across counters (concurrent Observe calls may be
+// partially included), which is fine for monitoring.
+func (a *AtomicStats) Snapshot() Stats {
+	return Stats{
+		TilesVisited:         a.tilesVisited.Load(),
+		PartitionsScanned:    a.partitionsScanned.Load(),
+		EntriesScanned:       a.entriesScanned.Load(),
+		Comparisons:          a.comparisons.Load(),
+		Results:              a.results.Load(),
+		DuplicatesAvoided:    a.duplicatesAvoided.Load(),
+		BinarySearches:       a.binarySearches.Load(),
+		SecondaryFilterTests: a.secondaryFilterTests.Load(),
+		SecondaryFilterHits:  a.secondaryFilterHits.Load(),
+		RefinementTests:      a.refinementTests.Load(),
+		DistanceComputations: a.distanceComputations.Load(),
+	}
 }

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"github.com/twolayer/twolayer/internal/geom"
+)
+
+// TestViewConcurrentStats checks the concurrent stats mode: queries on
+// per-goroutine views with private Stats, merged into one AtomicStats,
+// must produce exactly the counters of the same queries run serially in
+// exclusive mode. Run with -race to exercise the safety claim.
+func TestViewConcurrentStats(t *testing.T) {
+	ix, _ := buildRandom(rand.New(rand.NewSource(7)), 4000, 0.05, Options{NX: 64, NY: 64})
+
+	queries := make([]geom.Rect, 64)
+	for i := range queries {
+		x := float64(i%8) / 8
+		y := float64(i/8) / 8
+		queries[i] = geom.Rect{MinX: x, MinY: y, MaxX: x + 0.2, MaxY: y + 0.2}
+	}
+
+	// Serial exclusive-mode reference.
+	want := Stats{}
+	ix.Stats = &want
+	serialResults := 0
+	for _, q := range queries {
+		serialResults += ix.WindowCount(q)
+	}
+	ix.Stats = nil
+
+	var agg AtomicStats
+	var wg sync.WaitGroup
+	const workers = 8
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(queries); i += workers {
+				s := &Stats{}
+				view := ix.View(s)
+				view.WindowCount(queries[i])
+				agg.Observe(s)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	got := agg.Snapshot()
+	if got != want {
+		t.Errorf("concurrent view stats = %+v, want %+v", got, want)
+	}
+	if agg.Queries() != int64(len(queries)) {
+		t.Errorf("Queries() = %d, want %d", agg.Queries(), len(queries))
+	}
+	if got.Results != int64(serialResults) {
+		t.Errorf("stats results %d != serial result count %d", got.Results, serialResults)
+	}
+}
+
+// TestViewConcurrentKNN checks that per-view kNN scratch detachment makes
+// concurrent kNN queries safe and correct.
+func TestViewConcurrentKNN(t *testing.T) {
+	ix, _ := buildRandom(rand.New(rand.NewSource(11)), 2000, 0.05, Options{NX: 32, NY: 32})
+
+	points := make([]geom.Point, 32)
+	for i := range points {
+		points[i] = geom.Point{X: float64(i%8) / 8, Y: float64(i/8) / 4}
+	}
+	want := make([][]Neighbor, len(points))
+	for i, p := range points {
+		want[i] = ix.KNN(p, 10)
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			view := ix.View(nil)
+			for i := w; i < len(points); i += 8 {
+				got := view.KNN(points[i], 10)
+				if len(got) != len(want[i]) {
+					t.Errorf("point %d: got %d neighbors, want %d", i, len(got), len(want[i]))
+					return
+				}
+				for j := range got {
+					if got[j].Dist != want[i][j].Dist {
+						t.Errorf("point %d neighbor %d: dist %v != %v", i, j, got[j].Dist, want[i][j].Dist)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,94 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentQueries fires parallel window, disk, kNN, and batch
+// queries (with stats collection on, which is the racier configuration:
+// every request allocates an instrumented view and merges into the shared
+// AtomicStats) against one shared index. Run with -race; correctness is
+// also checked via the known result counts of the 10x10 test fixture.
+func TestConcurrentQueries(t *testing.T) {
+	s := testServer(t, nil)
+	h := s.Handler()
+
+	const workers = 8
+	const perWorker = 40
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*perWorker)
+
+	post := func(path, body string) (*json.Decoder, int, error) {
+		w := do(t, h, "POST", path, body, nil)
+		return json.NewDecoder(w.Body), w.Code, nil
+	}
+
+	for wkr := 0; wkr < workers; wkr++ {
+		wg.Add(1)
+		go func(wkr int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				switch (wkr + i) % 4 {
+				case 0: // full-space window: exactly 100 results
+					dec, code, _ := post("/query/window",
+						`{"rect":{"min_x":0,"min_y":0,"max_x":1,"max_y":1},"count_only":true}`)
+					var resp rangeResponse
+					if err := dec.Decode(&resp); err != nil || code != http.StatusOK || resp.Count != 100 {
+						errs <- fmt.Errorf("window: code=%d count=%d err=%v", code, resp.Count, err)
+					}
+				case 1: // disk around the center
+					dec, code, _ := post("/query/disk",
+						`{"center":{"x":0.5,"y":0.5},"radius":0.2,"count_only":true}`)
+					var resp rangeResponse
+					if err := dec.Decode(&resp); err != nil || code != http.StatusOK || resp.Count == 0 {
+						errs <- fmt.Errorf("disk: code=%d count=%d err=%v", code, resp.Count, err)
+					}
+				case 2: // kNN exercises per-view scratch space
+					dec, code, _ := post("/query/knn",
+						`{"center":{"x":0.31,"y":0.64},"k":9}`)
+					var resp knnResponse
+					if err := dec.Decode(&resp); err != nil || code != http.StatusOK || len(resp.Neighbors) != 9 {
+						errs <- fmt.Errorf("knn: code=%d n=%d err=%v", code, len(resp.Neighbors), err)
+					}
+				case 3: // parallel tiles-based batch inside a concurrent request
+					dec, code, _ := post("/query/batch",
+						`{"windows":[{"min_x":0,"min_y":0,"max_x":0.15,"max_y":0.15},
+						             {"min_x":0,"min_y":0,"max_x":1,"max_y":1}]}`)
+					var resp batchResponse
+					if err := dec.Decode(&resp); err != nil || code != http.StatusOK ||
+						len(resp.Counts) != 2 || resp.Counts[0] != 4 || resp.Counts[1] != 100 {
+						errs <- fmt.Errorf("batch: code=%d counts=%v err=%v", code, resp.Counts, err)
+					}
+				}
+			}
+		}(wkr)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// The aggregate must have observed every instrumented single query
+	// (batches are uninstrumented by design).
+	var stats statsResponse
+	do(t, h, "GET", "/stats", "", &stats)
+	wantObserved := int64(workers * perWorker * 3 / 4)
+	if stats.QueriesObserved != wantObserved {
+		t.Errorf("queries_observed = %d, want %d", stats.QueriesObserved, wantObserved)
+	}
+	var m metricsJSON
+	do(t, h, "GET", "/metrics", "", &m)
+	for _, ep := range []string{"query/window", "query/disk", "query/knn", "query/batch"} {
+		if got := m.Endpoints[ep].Requests; got != workers*perWorker/4 {
+			t.Errorf("%s requests = %d, want %d", ep, got, workers*perWorker/4)
+		}
+		if got := m.Endpoints[ep].Errors; got != 0 {
+			t.Errorf("%s errors = %d, want 0", ep, got)
+		}
+	}
+}

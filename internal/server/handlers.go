@@ -1,0 +1,499 @@
+package server
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"runtime"
+	"time"
+
+	twolayer "github.com/twolayer/twolayer"
+)
+
+// ctxPollInterval is how many results a streaming query produces between
+// deadline polls. Cancellation is therefore cooperative: a query is
+// interrupted within ~ctxPollInterval results (tile-granular for window
+// queries) of its deadline expiring.
+const ctxPollInterval = 256
+
+// ---- wire types -----------------------------------------------------------
+
+// rectJSON is a rectangle in request/response bodies.
+type rectJSON struct {
+	MinX float64 `json:"min_x"`
+	MinY float64 `json:"min_y"`
+	MaxX float64 `json:"max_x"`
+	MaxY float64 `json:"max_y"`
+}
+
+func (r rectJSON) toRect() twolayer.Rect {
+	return twolayer.Rect{MinX: r.MinX, MinY: r.MinY, MaxX: r.MaxX, MaxY: r.MaxY}
+}
+
+func fromRect(r twolayer.Rect) *rectJSON {
+	return &rectJSON{MinX: r.MinX, MinY: r.MinY, MaxX: r.MaxX, MaxY: r.MaxY}
+}
+
+// validate reports why the rectangle is unusable as data or query, or "".
+func (r rectJSON) validate() string {
+	for _, v := range [4]float64{r.MinX, r.MinY, r.MaxX, r.MaxY} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return "rect coordinates must be finite"
+		}
+	}
+	if r.MinX > r.MaxX || r.MinY > r.MaxY {
+		return "rect must satisfy min_x <= max_x and min_y <= max_y"
+	}
+	return ""
+}
+
+// pointJSON is a query center point.
+type pointJSON struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+}
+
+func (p pointJSON) validate() string {
+	if math.IsNaN(p.X) || math.IsInf(p.X, 0) || math.IsNaN(p.Y) || math.IsInf(p.Y, 0) {
+		return "center coordinates must be finite"
+	}
+	return ""
+}
+
+type windowRequest struct {
+	Rect      rectJSON `json:"rect"`
+	Exact     bool     `json:"exact"`
+	CountOnly bool     `json:"count_only"`
+	Limit     int      `json:"limit"`
+}
+
+type diskRequest struct {
+	Center    pointJSON `json:"center"`
+	Radius    float64   `json:"radius"`
+	Exact     bool      `json:"exact"`
+	CountOnly bool      `json:"count_only"`
+	Limit     int       `json:"limit"`
+}
+
+type knnRequest struct {
+	Center pointJSON `json:"center"`
+	K      int       `json:"k"`
+	Exact  bool      `json:"exact"`
+}
+
+type batchRequest struct {
+	// Mode selects the paper's batch evaluation strategy: "tiles"
+	// (cache-conscious, the default) or "queries" (cache-agnostic).
+	Mode string `json:"mode"`
+	// Threads is the worker count; 0 means all cores.
+	Threads int `json:"threads"`
+	// Exactly one of Windows/Disks must be non-empty.
+	Windows []rectJSON `json:"windows"`
+	Disks   []struct {
+		Center pointJSON `json:"center"`
+		Radius float64   `json:"radius"`
+	} `json:"disks"`
+}
+
+type resultJSON struct {
+	ID  twolayer.ID `json:"id"`
+	MBR *rectJSON   `json:"mbr,omitempty"` // omitted for exact-geometry results
+}
+
+type rangeResponse struct {
+	Count     int          `json:"count"`
+	Results   []resultJSON `json:"results,omitempty"`
+	Truncated bool         `json:"truncated"`
+	ElapsedUS int64        `json:"elapsed_us"`
+}
+
+type neighborJSON struct {
+	ID       twolayer.ID `json:"id"`
+	Distance float64     `json:"distance"`
+}
+
+type knnResponse struct {
+	Neighbors []neighborJSON `json:"neighbors"`
+	ElapsedUS int64          `json:"elapsed_us"`
+}
+
+type batchResponse struct {
+	Counts    []int  `json:"counts"`
+	Total     int    `json:"total"`
+	Mode      string `json:"mode"`
+	Threads   int    `json:"threads"`
+	ElapsedUS int64  `json:"elapsed_us"`
+}
+
+// ---- shared helpers -------------------------------------------------------
+
+// view returns the index view this request should query through, plus a
+// flush to call once the query finished successfully.
+func (s *Server) view() (view *twolayer.Index, flush func()) {
+	if s.cfg.CollectStats {
+		v, stats := s.idx.Instrumented()
+		return v, func() { s.agg.Observe(stats) }
+	}
+	return s.idx.ReadView(), func() {}
+}
+
+// clampLimit resolves a request's result limit. ok=false means the value
+// was invalid.
+func clampLimit(limit int) (int, bool) {
+	switch {
+	case limit < 0:
+		return 0, false
+	case limit == 0:
+		return DefaultResultLimit, true
+	case limit > MaxResultLimit:
+		return MaxResultLimit, true
+	default:
+		return limit, true
+	}
+}
+
+// requireExactable guards exact=true queries: they need the original
+// geometries, which snapshot-loaded indices do not carry.
+func (s *Server) requireExactable(w http.ResponseWriter) bool {
+	if !s.idx.HasExactGeometries() {
+		writeError(w, http.StatusBadRequest,
+			"exact queries unavailable: index was loaded from a snapshot without geometries")
+		return false
+	}
+	return true
+}
+
+// ---- handlers -------------------------------------------------------------
+
+func (s *Server) handleWindow(w http.ResponseWriter, r *http.Request) {
+	var req windowRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if msg := req.Rect.validate(); msg != "" {
+		writeError(w, http.StatusBadRequest, msg)
+		return
+	}
+	limit, ok := clampLimit(req.Limit)
+	if !ok {
+		writeError(w, http.StatusBadRequest, "limit must be >= 0")
+		return
+	}
+	if req.Exact && !s.requireExactable(w) {
+		return
+	}
+
+	view, flush := s.view()
+	ctx := r.Context()
+	if ctx.Err() != nil {
+		writeTimeout(w)
+		return
+	}
+	rect := req.Rect.toRect()
+	resp := rangeResponse{}
+	start := time.Now()
+
+	switch {
+	case req.Exact:
+		// Exact queries are not interruptible; the deadline was checked
+		// once before the (refinement-heavy) evaluation starts.
+		view.WindowExact(rect, twolayer.RefineAvoidPlus, func(id twolayer.ID) {
+			resp.Count++
+			if req.CountOnly {
+				return
+			}
+			if len(resp.Results) < limit {
+				resp.Results = append(resp.Results, resultJSON{ID: id})
+			} else {
+				resp.Truncated = true
+			}
+		})
+	case req.CountOnly:
+		interrupted := false
+		view.WindowUntil(rect, func(id twolayer.ID, mbr twolayer.Rect) bool {
+			resp.Count++
+			if resp.Count%ctxPollInterval == 0 && ctx.Err() != nil {
+				interrupted = true
+				return false
+			}
+			return true
+		})
+		if interrupted {
+			writeTimeout(w)
+			return
+		}
+	default:
+		interrupted := false
+		view.WindowUntil(rect, func(id twolayer.ID, mbr twolayer.Rect) bool {
+			resp.Count++
+			resp.Results = append(resp.Results, resultJSON{ID: id, MBR: fromRect(mbr)})
+			if len(resp.Results) >= limit {
+				resp.Truncated = true
+				return false
+			}
+			if resp.Count%ctxPollInterval == 0 && ctx.Err() != nil {
+				interrupted = true
+				return false
+			}
+			return true
+		})
+		if interrupted {
+			writeTimeout(w)
+			return
+		}
+	}
+	resp.ElapsedUS = time.Since(start).Microseconds()
+	flush()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleDisk(w http.ResponseWriter, r *http.Request) {
+	var req diskRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if msg := req.Center.validate(); msg != "" {
+		writeError(w, http.StatusBadRequest, msg)
+		return
+	}
+	if math.IsNaN(req.Radius) || math.IsInf(req.Radius, 0) || req.Radius < 0 {
+		writeError(w, http.StatusBadRequest, "radius must be finite and >= 0")
+		return
+	}
+	limit, ok := clampLimit(req.Limit)
+	if !ok {
+		writeError(w, http.StatusBadRequest, "limit must be >= 0")
+		return
+	}
+	if req.Exact && !s.requireExactable(w) {
+		return
+	}
+
+	view, flush := s.view()
+	if r.Context().Err() != nil {
+		// Disk evaluation has no early-exit hook; honor an already
+		// expired deadline before starting.
+		writeTimeout(w)
+		return
+	}
+	center := twolayer.Point{X: req.Center.X, Y: req.Center.Y}
+	resp := rangeResponse{}
+	start := time.Now()
+
+	collect := func(id twolayer.ID, mbr *rectJSON) {
+		resp.Count++
+		if req.CountOnly {
+			return
+		}
+		if len(resp.Results) < limit {
+			resp.Results = append(resp.Results, resultJSON{ID: id, MBR: mbr})
+		} else {
+			resp.Truncated = true
+		}
+	}
+	if req.Exact {
+		view.DiskExact(center, req.Radius, twolayer.RefineAvoidPlus, func(id twolayer.ID) {
+			collect(id, nil)
+		})
+	} else {
+		view.Disk(center, req.Radius, func(id twolayer.ID, mbr twolayer.Rect) {
+			collect(id, fromRect(mbr))
+		})
+	}
+	resp.ElapsedUS = time.Since(start).Microseconds()
+	flush()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
+	var req knnRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if msg := req.Center.validate(); msg != "" {
+		writeError(w, http.StatusBadRequest, msg)
+		return
+	}
+	if req.K < 1 || req.K > MaxK {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("k must be in [1, %d]", MaxK))
+		return
+	}
+	if req.Exact && !s.requireExactable(w) {
+		return
+	}
+
+	view, flush := s.view()
+	if r.Context().Err() != nil {
+		writeTimeout(w)
+		return
+	}
+	q := twolayer.Point{X: req.Center.X, Y: req.Center.Y}
+	start := time.Now()
+	var neighbors []twolayer.Neighbor
+	if req.Exact {
+		neighbors = view.KNNExact(q, req.K)
+	} else {
+		neighbors = view.KNN(q, req.K)
+	}
+	resp := knnResponse{
+		Neighbors: make([]neighborJSON, len(neighbors)),
+		ElapsedUS: time.Since(start).Microseconds(),
+	}
+	for i, n := range neighbors {
+		resp.Neighbors[i] = neighborJSON{ID: n.ID, Distance: n.Dist}
+	}
+	flush()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	var strategy twolayer.BatchStrategy
+	switch req.Mode {
+	case "", "tiles":
+		req.Mode, strategy = "tiles", twolayer.TilesBased
+	case "queries":
+		strategy = twolayer.QueriesBased
+	default:
+		writeError(w, http.StatusBadRequest, `mode must be "tiles" or "queries"`)
+		return
+	}
+	if req.Threads < 0 {
+		writeError(w, http.StatusBadRequest, "threads must be >= 0")
+		return
+	}
+	threads := req.Threads
+	if threads == 0 || threads > runtime.NumCPU() {
+		threads = runtime.NumCPU()
+	}
+	if (len(req.Windows) > 0) == (len(req.Disks) > 0) {
+		writeError(w, http.StatusBadRequest,
+			`exactly one of "windows" or "disks" must be non-empty`)
+		return
+	}
+	n := len(req.Windows) + len(req.Disks)
+	if n > MaxBatchQueries {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("batch of %d queries exceeds the maximum of %d", n, MaxBatchQueries))
+		return
+	}
+
+	// Batches run uninstrumented on the shared index: the tiles-based
+	// strategy interleaves queries across worker goroutines, so a single
+	// per-request Stats would race (see docs/SERVER.md).
+	if r.Context().Err() != nil {
+		writeTimeout(w)
+		return
+	}
+	resp := batchResponse{Mode: req.Mode, Threads: threads}
+	start := time.Now()
+	if len(req.Windows) > 0 {
+		rects := make([]twolayer.Rect, len(req.Windows))
+		for i, rj := range req.Windows {
+			if msg := rj.validate(); msg != "" {
+				writeError(w, http.StatusBadRequest,
+					fmt.Sprintf("windows[%d]: %s", i, msg))
+				return
+			}
+			rects[i] = rj.toRect()
+		}
+		resp.Counts = s.idx.BatchWindowCounts(rects, strategy, threads)
+	} else {
+		disks := make([]twolayer.Disk, len(req.Disks))
+		for i, dj := range req.Disks {
+			if msg := dj.Center.validate(); msg != "" {
+				writeError(w, http.StatusBadRequest,
+					fmt.Sprintf("disks[%d]: %s", i, msg))
+				return
+			}
+			if math.IsNaN(dj.Radius) || math.IsInf(dj.Radius, 0) || dj.Radius < 0 {
+				writeError(w, http.StatusBadRequest,
+					fmt.Sprintf("disks[%d]: radius must be finite and >= 0", i))
+				return
+			}
+			disks[i] = twolayer.Disk{
+				Center: twolayer.Point{X: dj.Center.X, Y: dj.Center.Y},
+				Radius: dj.Radius,
+			}
+		}
+		resp.Counts = s.idx.BatchDiskCounts(disks, strategy, threads)
+	}
+	for _, c := range resp.Counts {
+		resp.Total += c
+	}
+	resp.ElapsedUS = time.Since(start).Microseconds()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// ---- stats & health -------------------------------------------------------
+
+type indexInfoJSON struct {
+	Objects           int     `json:"objects"`
+	GridNX            int     `json:"grid_nx"`
+	GridNY            int     `json:"grid_ny"`
+	ReplicationFactor float64 `json:"replication_factor"`
+	MemoryBytes       int     `json:"memory_bytes"`
+	ExactGeometries   bool    `json:"exact_geometries"`
+}
+
+type countersJSON struct {
+	TilesVisited         int64 `json:"tiles_visited"`
+	PartitionsScanned    int64 `json:"partitions_scanned"`
+	EntriesScanned       int64 `json:"entries_scanned"`
+	Comparisons          int64 `json:"comparisons"`
+	Results              int64 `json:"results"`
+	DuplicatesAvoided    int64 `json:"duplicates_avoided"`
+	BinarySearches       int64 `json:"binary_searches"`
+	SecondaryFilterTests int64 `json:"secondary_filter_tests"`
+	SecondaryFilterHits  int64 `json:"secondary_filter_hits"`
+	RefinementTests      int64 `json:"refinement_tests"`
+	DistanceComputations int64 `json:"distance_computations"`
+}
+
+type statsResponse struct {
+	Index           indexInfoJSON `json:"index"`
+	StatsEnabled    bool          `json:"stats_enabled"`
+	QueriesObserved int64         `json:"queries_observed"`
+	Counters        countersJSON  `json:"counters"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	nx, ny := s.idx.GridDims()
+	snap := s.agg.Snapshot()
+	writeJSON(w, http.StatusOK, statsResponse{
+		Index: indexInfoJSON{
+			Objects:           s.idx.Len(),
+			GridNX:            nx,
+			GridNY:            ny,
+			ReplicationFactor: s.idx.ReplicationFactor(),
+			MemoryBytes:       s.idx.MemoryFootprint(),
+			ExactGeometries:   s.idx.HasExactGeometries(),
+		},
+		StatsEnabled:    s.cfg.CollectStats,
+		QueriesObserved: s.agg.Queries(),
+		Counters: countersJSON{
+			TilesVisited:         snap.TilesVisited,
+			PartitionsScanned:    snap.PartitionsScanned,
+			EntriesScanned:       snap.EntriesScanned,
+			Comparisons:          snap.Comparisons,
+			Results:              snap.Results,
+			DuplicatesAvoided:    snap.DuplicatesAvoided,
+			BinarySearches:       snap.BinarySearches,
+			SecondaryFilterTests: snap.SecondaryFilterTests,
+			SecondaryFilterHits:  snap.SecondaryFilterHits,
+			RefinementTests:      snap.RefinementTests,
+			DistanceComputations: snap.DistanceComputations,
+		},
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":  "ok",
+		"objects": s.idx.Len(),
+	})
+}

@@ -1,0 +1,370 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	twolayer "github.com/twolayer/twolayer"
+)
+
+// testIndex builds a small geometry-backed index: a 10x10 grid of tiny
+// squares with corners at (i/10, j/10), so result counts are easy to
+// predict. Object IDs are j*10+i.
+func testIndex(t *testing.T) *twolayer.Index {
+	t.Helper()
+	var geoms []twolayer.Geometry
+	for j := 0; j < 10; j++ {
+		for i := 0; i < 10; i++ {
+			x, y := float64(i)/10, float64(j)/10
+			geoms = append(geoms, twolayer.NewPolygon(
+				twolayer.Point{X: x, Y: y},
+				twolayer.Point{X: x + 0.05, Y: y},
+				twolayer.Point{X: x + 0.05, Y: y + 0.05},
+				twolayer.Point{X: x, Y: y + 0.05},
+			))
+		}
+	}
+	return twolayer.BuildGeoms(geoms, twolayer.Options{GridSize: 16, Decompose: true})
+}
+
+func testServer(t *testing.T, mutate func(*Config)) *Server {
+	t.Helper()
+	cfg := Config{
+		Index:        testIndex(t),
+		Logger:       slog.New(slog.NewTextHandler(io.Discard, nil)),
+		CollectStats: true,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	return New(cfg)
+}
+
+// do posts body to path and decodes the JSON response into out.
+func do(t *testing.T, h http.Handler, method, path, body string, out any) *httptest.ResponseRecorder {
+	t.Helper()
+	var rdr io.Reader
+	if body != "" {
+		rdr = strings.NewReader(body)
+	}
+	req := httptest.NewRequest(method, path, rdr)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if out != nil && w.Code == http.StatusOK {
+		if err := json.Unmarshal(w.Body.Bytes(), out); err != nil {
+			t.Fatalf("%s %s: bad response JSON: %v\n%s", method, path, err, w.Body.String())
+		}
+	}
+	return w
+}
+
+func TestWindowHappyPath(t *testing.T) {
+	s := testServer(t, nil)
+	var resp rangeResponse
+	// Covers the 4 squares with corners in [0, 0.15]^2.
+	w := do(t, s.Handler(), "POST", "/query/window",
+		`{"rect":{"min_x":0,"min_y":0,"max_x":0.15,"max_y":0.15}}`, &resp)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	if resp.Count != 4 || len(resp.Results) != 4 {
+		t.Errorf("count=%d len(results)=%d, want 4", resp.Count, len(resp.Results))
+	}
+	if resp.Truncated {
+		t.Error("unexpected truncation")
+	}
+	for _, res := range resp.Results {
+		if res.MBR == nil {
+			t.Error("filtering result missing mbr")
+		}
+	}
+}
+
+func TestWindowExactAndCountOnly(t *testing.T) {
+	s := testServer(t, nil)
+	var resp rangeResponse
+	do(t, s.Handler(), "POST", "/query/window",
+		`{"rect":{"min_x":0,"min_y":0,"max_x":0.15,"max_y":0.15},"exact":true}`, &resp)
+	if resp.Count != 4 {
+		t.Errorf("exact count=%d, want 4", resp.Count)
+	}
+	for _, res := range resp.Results {
+		if res.MBR != nil {
+			t.Error("exact result should omit mbr")
+		}
+	}
+
+	resp = rangeResponse{}
+	do(t, s.Handler(), "POST", "/query/window",
+		`{"rect":{"min_x":0,"min_y":0,"max_x":1,"max_y":1},"count_only":true}`, &resp)
+	if resp.Count != 100 {
+		t.Errorf("count_only count=%d, want 100", resp.Count)
+	}
+	if resp.Results != nil {
+		t.Error("count_only returned results")
+	}
+}
+
+func TestWindowLimitTruncates(t *testing.T) {
+	s := testServer(t, nil)
+	var resp rangeResponse
+	do(t, s.Handler(), "POST", "/query/window",
+		`{"rect":{"min_x":0,"min_y":0,"max_x":1,"max_y":1},"limit":7}`, &resp)
+	if len(resp.Results) != 7 || !resp.Truncated {
+		t.Errorf("limit=7: got %d results truncated=%v", len(resp.Results), resp.Truncated)
+	}
+}
+
+func TestWindowBadRequests(t *testing.T) {
+	s := testServer(t, nil)
+	cases := []struct {
+		name, body string
+	}{
+		{"malformed JSON", `{"rect":`},
+		{"trailing garbage", `{"rect":{"min_x":0,"min_y":0,"max_x":1,"max_y":1}} extra`},
+		{"unknown field", `{"rectangle":{"min_x":0}}`},
+		{"inverted rect", `{"rect":{"min_x":1,"min_y":0,"max_x":0,"max_y":1}}`},
+		{"NaN rect", `{"rect":{"min_x":null,"min_y":0,"max_x":"NaN","max_y":1}}`},
+		{"negative limit", `{"rect":{"min_x":0,"min_y":0,"max_x":1,"max_y":1},"limit":-1}`},
+	}
+	for _, c := range cases {
+		w := do(t, s.Handler(), "POST", "/query/window", c.body, nil)
+		if w.Code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (%s)", c.name, w.Code, w.Body.String())
+		}
+		var e errorJSON
+		if err := json.Unmarshal(w.Body.Bytes(), &e); err != nil || e.Error == "" {
+			t.Errorf("%s: error body %q not structured", c.name, w.Body.String())
+		}
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	s := testServer(t, nil)
+	if w := do(t, s.Handler(), "GET", "/query/window", "", nil); w.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /query/window: status %d, want 405", w.Code)
+	}
+	if w := do(t, s.Handler(), "POST", "/metrics", "", nil); w.Code != http.StatusMethodNotAllowed {
+		t.Errorf("POST /metrics: status %d, want 405", w.Code)
+	}
+}
+
+func TestWindowTimeout(t *testing.T) {
+	// A deadline that has certainly expired by the first poll: every
+	// streaming query must answer 503, deterministically.
+	s := testServer(t, func(c *Config) { c.RequestTimeout = time.Nanosecond })
+	w := do(t, s.Handler(), "POST", "/query/window",
+		`{"rect":{"min_x":0,"min_y":0,"max_x":1,"max_y":1},"count_only":true}`, nil)
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503 (%s)", w.Code, w.Body.String())
+	}
+	var e errorJSON
+	json.Unmarshal(w.Body.Bytes(), &e)
+	if e.Error != "deadline exceeded" {
+		t.Errorf("error %q, want %q", e.Error, "deadline exceeded")
+	}
+	// The timeout must be visible in metrics.
+	var m metricsJSON
+	do(t, s.Handler(), "GET", "/metrics", "", &m)
+	if got := m.Endpoints["query/window"].Timeouts; got != 1 {
+		t.Errorf("metrics timeouts = %d, want 1", got)
+	}
+}
+
+func TestDiskQueries(t *testing.T) {
+	s := testServer(t, nil)
+	var resp rangeResponse
+	do(t, s.Handler(), "POST", "/query/disk",
+		`{"center":{"x":0.5,"y":0.5},"radius":0.06}`, &resp)
+	if resp.Count == 0 {
+		t.Error("disk query found nothing around (0.5,0.5)")
+	}
+	exact := rangeResponse{}
+	do(t, s.Handler(), "POST", "/query/disk",
+		`{"center":{"x":0.5,"y":0.5},"radius":0.06,"exact":true}`, &exact)
+	if exact.Count == 0 || exact.Count > resp.Count {
+		t.Errorf("exact disk count %d vs filter count %d", exact.Count, resp.Count)
+	}
+
+	if w := do(t, s.Handler(), "POST", "/query/disk",
+		`{"center":{"x":0.5,"y":0.5},"radius":-1}`, nil); w.Code != http.StatusBadRequest {
+		t.Errorf("negative radius: status %d, want 400", w.Code)
+	}
+}
+
+func TestKNNQueries(t *testing.T) {
+	s := testServer(t, nil)
+	var resp knnResponse
+	do(t, s.Handler(), "POST", "/query/knn",
+		`{"center":{"x":0.52,"y":0.52},"k":5}`, &resp)
+	if len(resp.Neighbors) != 5 {
+		t.Fatalf("got %d neighbors, want 5", len(resp.Neighbors))
+	}
+	for i := 1; i < len(resp.Neighbors); i++ {
+		if resp.Neighbors[i].Distance < resp.Neighbors[i-1].Distance {
+			t.Error("neighbors not sorted by distance")
+		}
+	}
+	if w := do(t, s.Handler(), "POST", "/query/knn",
+		`{"center":{"x":0.5,"y":0.5},"k":0}`, nil); w.Code != http.StatusBadRequest {
+		t.Errorf("k=0: status %d, want 400", w.Code)
+	}
+}
+
+func TestBatchQueries(t *testing.T) {
+	s := testServer(t, nil)
+	var resp batchResponse
+	do(t, s.Handler(), "POST", "/query/batch",
+		`{"mode":"tiles","windows":[
+			{"min_x":0,"min_y":0,"max_x":0.15,"max_y":0.15},
+			{"min_x":0,"min_y":0,"max_x":1,"max_y":1}]}`, &resp)
+	if len(resp.Counts) != 2 || resp.Counts[0] != 4 || resp.Counts[1] != 100 {
+		t.Errorf("counts = %v, want [4 100]", resp.Counts)
+	}
+	if resp.Total != 104 {
+		t.Errorf("total = %d, want 104", resp.Total)
+	}
+
+	disk := batchResponse{}
+	do(t, s.Handler(), "POST", "/query/batch",
+		`{"mode":"queries","threads":1,"disks":[{"center":{"x":0.5,"y":0.5},"radius":0.06}]}`, &disk)
+	if len(disk.Counts) != 1 || disk.Counts[0] == 0 {
+		t.Errorf("disk batch counts = %v", disk.Counts)
+	}
+
+	bad := []string{
+		`{"windows":[],"disks":[]}`,
+		`{"windows":[{"min_x":0,"min_y":0,"max_x":1,"max_y":1}],"disks":[{"center":{"x":0,"y":0},"radius":1}]}`,
+		`{"mode":"zigzag","windows":[{"min_x":0,"min_y":0,"max_x":1,"max_y":1}]}`,
+		`{"windows":[{"min_x":1,"min_y":0,"max_x":0,"max_y":1}]}`,
+	}
+	for _, b := range bad {
+		if w := do(t, s.Handler(), "POST", "/query/batch", b, nil); w.Code != http.StatusBadRequest {
+			t.Errorf("body %s: status %d, want 400", b, w.Code)
+		}
+	}
+}
+
+func TestBodyTooLarge(t *testing.T) {
+	s := testServer(t, func(c *Config) { c.MaxBodyBytes = 64 })
+	// Valid JSON whose object spans more than the body limit, so the
+	// decoder must hit the MaxBytesReader cutoff to finish it.
+	body := fmt.Sprintf(`{"rect":{"min_x":0,"min_y":0,"max_x":1,"max_y":1}%s}`,
+		strings.Repeat(" ", 200))
+	if w := do(t, s.Handler(), "POST", "/query/window", body, nil); w.Code != http.StatusRequestEntityTooLarge {
+		t.Errorf("status %d, want 413", w.Code)
+	}
+}
+
+func TestStatsAggregation(t *testing.T) {
+	s := testServer(t, nil)
+	for i := 0; i < 3; i++ {
+		do(t, s.Handler(), "POST", "/query/window",
+			`{"rect":{"min_x":0,"min_y":0,"max_x":1,"max_y":1},"count_only":true}`, nil)
+	}
+	var resp statsResponse
+	do(t, s.Handler(), "GET", "/stats", "", &resp)
+	if !resp.StatsEnabled {
+		t.Fatal("stats_enabled = false")
+	}
+	if resp.QueriesObserved != 3 {
+		t.Errorf("queries_observed = %d, want 3", resp.QueriesObserved)
+	}
+	if resp.Counters.Results != 300 {
+		t.Errorf("counters.results = %d, want 300", resp.Counters.Results)
+	}
+	if resp.Counters.TilesVisited == 0 {
+		t.Error("counters.tiles_visited = 0 after instrumented queries")
+	}
+	if resp.Index.Objects != 100 || resp.Index.GridNX != 16 || !resp.Index.ExactGeometries {
+		t.Errorf("index info = %+v", resp.Index)
+	}
+}
+
+func TestStatsDisabled(t *testing.T) {
+	s := testServer(t, func(c *Config) { c.CollectStats = false })
+	do(t, s.Handler(), "POST", "/query/window",
+		`{"rect":{"min_x":0,"min_y":0,"max_x":1,"max_y":1},"count_only":true}`, nil)
+	var resp statsResponse
+	do(t, s.Handler(), "GET", "/stats", "", &resp)
+	if resp.StatsEnabled || resp.QueriesObserved != 0 || resp.Counters.Results != 0 {
+		t.Errorf("disabled stats leaked counters: %+v", resp)
+	}
+}
+
+func TestExactRejectedOnSnapshotIndex(t *testing.T) {
+	// Round-trip the index through Save/Load: geometries are gone, so
+	// exact queries must be rejected with a clear 400.
+	idx := testIndex(t)
+	var snap bytes.Buffer
+	if _, err := idx.Save(&snap); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := twolayer.Load(&snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := testServer(t, func(c *Config) { c.Index = loaded })
+	w := do(t, s.Handler(), "POST", "/query/window",
+		`{"rect":{"min_x":0,"min_y":0,"max_x":1,"max_y":1},"exact":true}`, nil)
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("exact on snapshot index: status %d, want 400", w.Code)
+	}
+	if !strings.Contains(w.Body.String(), "snapshot") {
+		t.Errorf("error %q does not mention snapshots", w.Body.String())
+	}
+	// Filtering queries still work on the loaded index.
+	var resp rangeResponse
+	do(t, s.Handler(), "POST", "/query/window",
+		`{"rect":{"min_x":0,"min_y":0,"max_x":1,"max_y":1},"count_only":true}`, &resp)
+	if resp.Count != 100 {
+		t.Errorf("loaded index count = %d, want 100", resp.Count)
+	}
+}
+
+func TestHealthzAndMetrics(t *testing.T) {
+	s := testServer(t, nil)
+	var h map[string]any
+	if w := do(t, s.Handler(), "GET", "/healthz", "", &h); w.Code != http.StatusOK {
+		t.Fatalf("healthz status %d", w.Code)
+	}
+	if h["status"] != "ok" {
+		t.Errorf("healthz = %v", h)
+	}
+
+	do(t, s.Handler(), "POST", "/query/window",
+		`{"rect":{"min_x":0,"min_y":0,"max_x":1,"max_y":1}}`, nil)
+	do(t, s.Handler(), "POST", "/query/window", `not json`, nil)
+	var m metricsJSON
+	do(t, s.Handler(), "GET", "/metrics", "", &m)
+	ep := m.Endpoints["query/window"]
+	if ep.Requests != 2 || ep.Errors != 1 {
+		t.Errorf("query/window metrics = %+v, want 2 requests / 1 error", ep)
+	}
+	var inBuckets int64
+	for _, b := range ep.Latency.Buckets {
+		inBuckets += b.Count
+	}
+	if inBuckets != ep.Requests {
+		t.Errorf("bucket counts sum to %d, want %d", inBuckets, ep.Requests)
+	}
+}
+
+func TestPprofGatedByFlag(t *testing.T) {
+	off := testServer(t, nil)
+	if w := do(t, off.Handler(), "GET", "/debug/pprof/", "", nil); w.Code != http.StatusNotFound {
+		t.Errorf("pprof disabled: status %d, want 404", w.Code)
+	}
+	on := testServer(t, func(c *Config) { c.EnablePprof = true })
+	if w := do(t, on.Handler(), "GET", "/debug/pprof/", "", nil); w.Code != http.StatusOK {
+		t.Errorf("pprof enabled: status %d, want 200", w.Code)
+	}
+}

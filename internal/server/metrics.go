@@ -1,0 +1,162 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBucketBoundsUS are the upper bounds (microseconds, inclusive) of
+// the latency histogram buckets. Requests slower than the last bound land
+// in the overflow bucket serialized with "le": null.
+var latencyBucketBoundsUS = [...]int64{
+	50, 100, 250, 500,
+	1_000, 2_500, 5_000, 10_000,
+	25_000, 50_000, 100_000, 250_000,
+	500_000, 1_000_000,
+}
+
+// endpointMetrics holds the per-endpoint counters. All fields are atomic;
+// recording a request takes a handful of atomic adds and no locks.
+type endpointMetrics struct {
+	requests atomic.Int64 // all requests routed to the endpoint
+	errors   atomic.Int64 // responses with status >= 400
+	timeouts atomic.Int64 // responses with status 503 (deadline exceeded)
+
+	latencySumUS atomic.Int64
+	latencyMaxUS atomic.Int64
+	buckets      [len(latencyBucketBoundsUS) + 1]atomic.Int64
+}
+
+func (m *endpointMetrics) observe(status int, elapsed time.Duration) {
+	m.requests.Add(1)
+	if status >= 400 {
+		m.errors.Add(1)
+	}
+	if status == http.StatusServiceUnavailable {
+		m.timeouts.Add(1)
+	}
+	us := elapsed.Microseconds()
+	m.latencySumUS.Add(us)
+	for {
+		old := m.latencyMaxUS.Load()
+		if us <= old || m.latencyMaxUS.CompareAndSwap(old, us) {
+			break
+		}
+	}
+	i := 0
+	for i < len(latencyBucketBoundsUS) && us > latencyBucketBoundsUS[i] {
+		i++
+	}
+	m.buckets[i].Add(1)
+}
+
+// Metrics is the server-wide metrics registry: one endpointMetrics per
+// registered endpoint, plus process-level gauges sampled at serve time.
+// It marshals to expvar-style JSON on GET /metrics (no external deps).
+type Metrics struct {
+	start     time.Time
+	names     []string // registration order, for stable JSON output
+	endpoints map[string]*endpointMetrics
+}
+
+func newMetrics(endpointNames []string) *Metrics {
+	m := &Metrics{
+		start:     time.Now(),
+		names:     endpointNames,
+		endpoints: make(map[string]*endpointMetrics, len(endpointNames)),
+	}
+	for _, n := range endpointNames {
+		m.endpoints[n] = &endpointMetrics{}
+	}
+	return m
+}
+
+func (m *Metrics) observe(endpoint string, status int, elapsed time.Duration) {
+	if em, ok := m.endpoints[endpoint]; ok {
+		em.observe(status, elapsed)
+	}
+}
+
+// bucketJSON is one histogram bucket: count of requests with latency in
+// (previous bound, le] microseconds. The overflow bucket has LE == nil.
+type bucketJSON struct {
+	LE    *int64 `json:"le_us"`
+	Count int64  `json:"count"`
+}
+
+type latencyJSON struct {
+	Count   int64        `json:"count"`
+	SumUS   int64        `json:"sum_us"`
+	AvgUS   int64        `json:"avg_us"`
+	MaxUS   int64        `json:"max_us"`
+	Buckets []bucketJSON `json:"buckets"`
+}
+
+type endpointJSON struct {
+	Requests int64       `json:"requests"`
+	Errors   int64       `json:"errors"`
+	Timeouts int64       `json:"timeouts"`
+	Latency  latencyJSON `json:"latency"`
+}
+
+type processJSON struct {
+	Goroutines     int    `json:"goroutines"`
+	HeapAllocBytes uint64 `json:"heap_alloc_bytes"`
+	NumGC          uint32 `json:"num_gc"`
+}
+
+type metricsJSON struct {
+	UptimeSeconds float64                 `json:"uptime_seconds"`
+	Process       processJSON             `json:"process"`
+	Endpoints     map[string]endpointJSON `json:"endpoints"`
+}
+
+func (m *Metrics) snapshot() metricsJSON {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	out := metricsJSON{
+		UptimeSeconds: time.Since(m.start).Seconds(),
+		Process: processJSON{
+			Goroutines:     runtime.NumGoroutine(),
+			HeapAllocBytes: ms.HeapAlloc,
+			NumGC:          ms.NumGC,
+		},
+		Endpoints: make(map[string]endpointJSON, len(m.names)),
+	}
+	for _, name := range m.names {
+		em := m.endpoints[name]
+		ej := endpointJSON{
+			Requests: em.requests.Load(),
+			Errors:   em.errors.Load(),
+			Timeouts: em.timeouts.Load(),
+		}
+		ej.Latency.Count = ej.Requests
+		ej.Latency.SumUS = em.latencySumUS.Load()
+		ej.Latency.MaxUS = em.latencyMaxUS.Load()
+		if ej.Requests > 0 {
+			ej.Latency.AvgUS = ej.Latency.SumUS / ej.Requests
+		}
+		ej.Latency.Buckets = make([]bucketJSON, len(em.buckets))
+		for i := range em.buckets {
+			b := bucketJSON{Count: em.buckets[i].Load()}
+			if i < len(latencyBucketBoundsUS) {
+				bound := latencyBucketBoundsUS[i]
+				b.LE = &bound
+			}
+			ej.Latency.Buckets[i] = b
+		}
+		out.Endpoints[name] = ej
+	}
+	return out
+}
+
+// ServeHTTP serves the metrics snapshot as JSON.
+func (m *Metrics) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(m.snapshot())
+}

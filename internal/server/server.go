@@ -1,0 +1,170 @@
+// Package server is the long-lived serving surface of the two-layer
+// index: an HTTP/JSON API exposing the paper's query types (window, disk,
+// kNN, and queries-based/tiles-based batches) over one shared in-memory
+// index, evaluated concurrently across requests.
+//
+// The index is built (or snapshot-loaded) once and never updated while
+// serving, which is what makes lock-free concurrent reads safe. Each
+// request queries through a private read view (Index.ReadView /
+// Index.Instrumented), so kNN scratch space and stats counters are
+// per-request; aggregated counters are published on GET /stats and
+// per-endpoint latency/error metrics on GET /metrics.
+//
+// See docs/SERVER.md for the full API reference and operator guide.
+package server
+
+import (
+	"context"
+	"errors"
+	"log/slog"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	twolayer "github.com/twolayer/twolayer"
+)
+
+// Defaults for Config fields left zero.
+const (
+	DefaultRequestTimeout = 5 * time.Second
+	DefaultMaxBodyBytes   = 8 << 20 // 8 MiB; batch requests dominate
+	DefaultResultLimit    = 1000
+	MaxResultLimit        = 100000
+	MaxBatchQueries       = 100000
+	MaxK                  = 10000
+	shutdownGrace         = 10 * time.Second
+)
+
+// Config configures a Server.
+type Config struct {
+	// Index is the shared index all requests query. Required. It must not
+	// be updated while the server runs.
+	Index *twolayer.Index
+
+	// Logger receives structured request logs. Defaults to slog.Default().
+	Logger *slog.Logger
+
+	// RequestTimeout bounds the evaluation of one request. Cancellation is
+	// cooperative at tile granularity for window queries and between
+	// stages elsewhere; see docs/SERVER.md for exact semantics.
+	// Defaults to DefaultRequestTimeout.
+	RequestTimeout time.Duration
+
+	// MaxBodyBytes caps request body size (413 beyond it). Defaults to
+	// DefaultMaxBodyBytes.
+	MaxBodyBytes int64
+
+	// CollectStats, when true, runs single queries on instrumented views
+	// and aggregates their core counters for GET /stats.
+	CollectStats bool
+
+	// EnablePprof mounts net/http/pprof under /debug/pprof/.
+	EnablePprof bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Logger == nil {
+		c.Logger = slog.Default()
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = DefaultRequestTimeout
+	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	return c
+}
+
+// Server serves spatial queries over one shared two-layer index.
+type Server struct {
+	cfg     Config
+	idx     *twolayer.Index
+	metrics *Metrics
+	agg     *twolayer.AtomicStats
+	mux     *http.ServeMux
+}
+
+// New builds a Server from cfg. It panics if cfg.Index is nil (a
+// programming error, not a runtime condition).
+func New(cfg Config) *Server {
+	if cfg.Index == nil {
+		panic("server: Config.Index is required")
+	}
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg: cfg,
+		idx: cfg.Index,
+		agg: &twolayer.AtomicStats{},
+		mux: http.NewServeMux(),
+	}
+	s.metrics = newMetrics([]string{
+		"query/window", "query/disk", "query/knn", "query/batch",
+		"stats", "healthz",
+	})
+	s.routes()
+	return s
+}
+
+// routes registers all endpoints. Every name registered here must be
+// listed in newMetrics above and documented in docs/SERVER.md.
+func (s *Server) routes() {
+	query := func(name string, h http.HandlerFunc) http.Handler {
+		return s.instrument(name, s.limitBody(s.withTimeout(h)))
+	}
+	s.mux.Handle("POST /query/window", query("query/window", s.handleWindow))
+	s.mux.Handle("POST /query/disk", query("query/disk", s.handleDisk))
+	s.mux.Handle("POST /query/knn", query("query/knn", s.handleKNN))
+	s.mux.Handle("POST /query/batch", query("query/batch", s.handleBatch))
+
+	s.mux.Handle("GET /stats", s.instrument("stats", http.HandlerFunc(s.handleStats)))
+	s.mux.Handle("GET /healthz", s.instrument("healthz", http.HandlerFunc(s.handleHealthz)))
+	s.mux.Handle("GET /metrics", s.metrics)
+
+	if s.cfg.EnablePprof {
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+}
+
+// Handler returns the root handler (for tests and embedding).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics returns the server's metrics registry.
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// ListenAndServe serves on addr until ctx is canceled, then shuts down
+// gracefully: in-flight requests get shutdownGrace to finish. It returns
+// nil on clean shutdown.
+func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
+	hs := &http.Server{
+		Addr:              addr,
+		Handler:           s.mux,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() {
+		if err := hs.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+		}
+	}()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	s.cfg.Logger.Info("shutting down", "grace", shutdownGrace)
+	shCtx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+	defer cancel()
+	if err := hs.Shutdown(shCtx); err != nil {
+		return err
+	}
+	select {
+	case err := <-errc:
+		return err
+	default:
+		return nil
+	}
+}

@@ -1,0 +1,128 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestServerLifecycle starts a real listener, serves one query over TCP,
+// then cancels the context and checks the graceful shutdown completes.
+func TestServerLifecycle(t *testing.T) {
+	// Grab a free port first so ListenAndServe can bind deterministically.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+
+	s := testServer(t, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- s.ListenAndServe(ctx, addr) }()
+
+	// Wait for the listener to come up.
+	url := "http://" + addr
+	var resp *http.Response
+	for i := 0; i < 100; i++ {
+		resp, err = http.Get(url + "/healthz")
+		if err == nil {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("server did not come up on %s: %v", addr, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	qresp, err := http.Post(url+"/query/window", "application/json",
+		strings.NewReader(`{"rect":{"min_x":0,"min_y":0,"max_x":1,"max_y":1},"count_only":true}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(qresp.Body)
+	qresp.Body.Close()
+	var rr rangeResponse
+	if err := json.Unmarshal(body, &rr); err != nil || rr.Count != 100 {
+		t.Fatalf("query over TCP: count=%d err=%v body=%s", rr.Count, err, body)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server did not shut down within 5s")
+	}
+
+	// The port must actually be released.
+	if _, err := http.Get(url + "/healthz"); err == nil {
+		t.Error("server still answering after shutdown")
+	}
+}
+
+func TestNewPanicsWithoutIndex(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New with nil Index did not panic")
+		}
+	}()
+	New(Config{})
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.RequestTimeout != DefaultRequestTimeout {
+		t.Errorf("RequestTimeout default = %v", cfg.RequestTimeout)
+	}
+	if cfg.MaxBodyBytes != DefaultMaxBodyBytes {
+		t.Errorf("MaxBodyBytes default = %v", cfg.MaxBodyBytes)
+	}
+	if cfg.Logger == nil {
+		t.Error("Logger default is nil")
+	}
+}
+
+// TestEveryMetricsEndpointRegistered guards the /metrics registry against
+// drift: every routed query/observability endpoint must have a metrics
+// slot, so a new route without metrics fails this test.
+func TestEveryMetricsEndpointRegistered(t *testing.T) {
+	s := testServer(t, nil)
+	paths := map[string]string{
+		"query/window": "/query/window",
+		"query/disk":   "/query/disk",
+		"query/knn":    "/query/knn",
+		"query/batch":  "/query/batch",
+		"stats":        "/stats",
+		"healthz":      "/healthz",
+	}
+	for name, path := range paths {
+		method := "POST"
+		body := `{}`
+		if name == "stats" || name == "healthz" {
+			method, body = "GET", ""
+		}
+		do(t, s.Handler(), method, path, body, nil)
+		var m metricsJSON
+		do(t, s.Handler(), "GET", "/metrics", "", &m)
+		if m.Endpoints[name].Requests == 0 {
+			t.Errorf("endpoint %s (%s) not recorded in /metrics", name, path)
+		}
+	}
+	if len(paths) != len(s.metrics.names) {
+		t.Errorf("metrics registry has %d endpoints, routes table has %d: %v",
+			len(s.metrics.names), len(paths), s.metrics.names)
+	}
+}

@@ -53,8 +53,12 @@ type (
 	Geometry = geom.Geometry
 	// ID identifies an object; a dataset of n objects uses IDs 0..n-1.
 	ID = spatial.ID
-	// Stats carries instrumentation counters (see Index.EnableStats).
+	// Stats carries instrumentation counters (see Index.EnableStats and
+	// Index.Instrumented).
 	Stats = core.Stats
+	// AtomicStats merges per-query Stats concurrently (see
+	// Index.Instrumented).
+	AtomicStats = core.AtomicStats
 	// Neighbor is one k-nearest-neighbor result.
 	Neighbor = core.Neighbor
 	// Region is an arbitrary-shape query range (Disk and *Polygon
@@ -124,8 +128,10 @@ func (o Options) toCore() core.Options {
 }
 
 // Index is a two-layer partitioned spatial index. It is safe for
-// concurrent readers; updates and stats collection require external
-// synchronization.
+// concurrent readers; updates, kNN search, and EnableStats collection
+// require external synchronization. On a static index, ReadView and
+// Instrumented lift the kNN and stats restrictions by giving each
+// goroutine its own cheap read view.
 type Index struct {
 	core    *core.Index
 	dataset *spatial.Dataset
@@ -258,7 +264,8 @@ func (ix *Index) RebuildDecomposed() { ix.core.BuildDecomposed() }
 
 // KNN returns the k objects whose MBRs are nearest to q, ascending by
 // distance. Like updates, KNN requires external synchronization (it
-// reuses per-index scratch space).
+// reuses per-index scratch space); to run kNN queries concurrently, give
+// each goroutine its own ReadView.
 func (ix *Index) KNN(q Point, k int) []Neighbor { return ix.core.KNN(q, k) }
 
 // KNNExact returns the k objects whose exact geometries are nearest to q,
@@ -323,8 +330,9 @@ func Load(r io.Reader) (*Index, error) {
 	return &Index{core: inner}, nil
 }
 
-// EnableStats attaches a counter set that queries will update. Queries
-// become single-threaded while stats are enabled. Returns the live Stats.
+// EnableStats attaches a counter set that queries will update (exclusive
+// mode). Queries become single-threaded while stats are enabled. Returns
+// the live Stats. For stats on concurrent queries use Instrumented.
 func (ix *Index) EnableStats() *Stats {
 	s := &Stats{}
 	ix.core.Stats = s
@@ -333,6 +341,36 @@ func (ix *Index) EnableStats() *Stats {
 
 // DisableStats detaches the counter set.
 func (ix *Index) DisableStats() { ix.core.Stats = nil }
+
+// ReadView returns a shallow read view of the index with private kNN
+// scratch space. Any number of views can evaluate queries — including KNN
+// and KNNExact — concurrently, as long as the underlying index is not
+// updated. Views are read-only; do not Insert or Delete through them.
+func (ix *Index) ReadView() *Index {
+	return &Index{core: ix.core.View(nil), dataset: ix.dataset}
+}
+
+// Instrumented returns a read view like ReadView whose queries
+// additionally accumulate counters into the returned private Stats
+// (concurrent mode: any number of instrumented views may run at once).
+// Merge the counters of finished views into a shared AtomicStats with
+// its Observe method.
+func (ix *Index) Instrumented() (*Index, *Stats) {
+	s := &Stats{}
+	return &Index{core: ix.core.View(s), dataset: ix.dataset}, s
+}
+
+// HasExactGeometries reports whether the index can answer exact-geometry
+// queries (WindowExact, DiskExact, KNNExact): true for indices built with
+// BuildRects or BuildGeoms, false for empty (New) or snapshot-loaded
+// (Load) indices.
+func (ix *Index) HasExactGeometries() bool { return ix.core.Dataset() != nil }
+
+// GridDims returns the primary grid's tile counts per dimension.
+func (ix *Index) GridDims() (nx, ny int) {
+	g := ix.core.Grid()
+	return g.NX, g.NY
+}
 
 // ReplicationFactor reports stored entries (with replicas) per object.
 func (ix *Index) ReplicationFactor() float64 { return ix.core.ReplicationFactor() }
