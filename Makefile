@@ -1,15 +1,21 @@
 # Standard verify entry point: `make check` is what CI and pre-commit
-# runs — build everything, vet, then the full test suite under the race
-# detector (the server package's concurrency tests depend on it).
+# runs — build everything, gate on gofmt, vet, then the full test suite
+# under the race detector (the server and live-index concurrency tests
+# depend on it).
 
 GO ?= go
 
-.PHONY: check build vet test test-race bench experiments
+.PHONY: check build fmt-check vet test test-race race-hot bench experiments
 
-check: build vet test-race
+check: build fmt-check vet test-race
 
 build:
 	$(GO) build ./...
+
+# Fails (listing the files) if anything is not gofmt-clean.
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 vet:
 	$(GO) vet ./...
@@ -20,6 +26,11 @@ test:
 
 test-race:
 	$(GO) test -race ./...
+
+# The concurrency-heavy packages only — a faster race pass for iterating
+# on the live (copy-on-write) index and the HTTP server.
+race-hot:
+	$(GO) test -race ./internal/core ./internal/server
 
 bench:
 	$(GO) test -bench=. -benchmem

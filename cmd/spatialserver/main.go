@@ -2,14 +2,17 @@
 // a long-lived HTTP/JSON service: POST /query/{window,disk,knn,batch},
 // with GET /metrics, /stats, and /healthz for observability. The index is
 // built once from a dataset file (or loaded from a binary snapshot) and
-// then served concurrently; the process shuts down gracefully on SIGINT
-// or SIGTERM.
+// then served concurrently; with -live it additionally accepts updates on
+// POST /insert, /delete, and /bulk, serving every query from an immutable
+// copy-on-write snapshot. The process shuts down gracefully on SIGINT or
+// SIGTERM.
 //
 // Usage:
 //
 //	spatialserver -data roads.csv -addr :8080
 //	spatialserver -data roads.wkt -grid 1024 -save roads.idx
 //	spatialserver -snapshot roads.idx -pprof
+//	spatialserver -snapshot roads.idx -live -rebuild-every 4096
 //
 // See docs/SERVER.md for the API reference and operations guide.
 package main
@@ -108,6 +111,8 @@ func main() {
 	timeout := flag.Duration("timeout", server.DefaultRequestTimeout, "per-request evaluation deadline")
 	maxBody := flag.Int64("max-body", server.DefaultMaxBodyBytes, "maximum request body size in bytes")
 	stats := flag.Bool("stats", true, "aggregate per-query core counters for GET /stats")
+	live := flag.Bool("live", false, "serve in live mode: accept updates on POST /insert, /delete, /bulk (disables exact-geometry queries)")
+	rebuildEvery := flag.Int("rebuild-every", 0, "live mode: re-run the decomposed build after this many mutations (0 = default, negative = never)")
 	pprofFlag := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
 	flag.Parse()
@@ -137,18 +142,29 @@ func main() {
 		logger.Info("snapshot saved", "path", *savePath, "bytes", n)
 	}
 
-	srv := server.New(server.Config{
-		Index:          idx,
+	cfg := server.Config{
 		Logger:         logger,
 		RequestTimeout: *timeout,
 		MaxBodyBytes:   *maxBody,
 		CollectStats:   *stats,
 		EnablePprof:    *pprofFlag,
-	})
+	}
+	if *live {
+		lv := twolayer.LiveFrom(idx, twolayer.LiveOptions{RebuildEvery: *rebuildEvery})
+		defer lv.Close()
+		cfg.Live = lv
+		logger.Info("live mode", "rebuild_every", *rebuildEvery)
+	} else {
+		if *rebuildEvery != 0 {
+			fail(fmt.Errorf("-rebuild-every requires -live"))
+		}
+		cfg.Index = idx
+	}
+	srv := server.New(cfg)
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
-	logger.Info("serving", "addr", *addr, "pprof", *pprofFlag, "stats", *stats, "timeout", *timeout)
+	logger.Info("serving", "addr", *addr, "pprof", *pprofFlag, "stats", *stats, "live", *live, "timeout", *timeout)
 	if err := srv.ListenAndServe(ctx, *addr); err != nil {
 		fail(err)
 	}

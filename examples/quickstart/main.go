@@ -29,14 +29,15 @@ func main() {
 	window := twolayer.Rect{MinX: 0.40, MinY: 0.40, MaxX: 0.43, MaxY: 0.43}
 	fmt.Printf("window %v -> %d objects\n", window, idx.WindowCount(window))
 
-	// Stream results instead of counting.
+	// Stream results instead of counting; the iterator form supports
+	// early break (the scan stops, tile-granular).
 	shown := 0
-	idx.Window(window, func(id twolayer.ID, mbr twolayer.Rect) {
-		if shown < 3 {
-			fmt.Printf("  id=%d mbr=%v\n", id, mbr)
-			shown++
+	for id, mbr := range idx.WindowAll(window) {
+		fmt.Printf("  id=%d mbr=%v\n", id, mbr)
+		if shown++; shown == 3 {
+			break
 		}
-	})
+	}
 
 	// A disk query: all objects within distance 0.02 of a point.
 	center := twolayer.Point{X: 0.5, Y: 0.5}
@@ -48,4 +49,14 @@ func main() {
 	fmt.Printf("after insert: %d objects in window\n", idx.WindowCount(window))
 	idx.Delete(twolayer.ID(len(rects)), extra)
 	fmt.Printf("after delete: %d objects in window\n", idx.WindowCount(window))
+
+	// For concurrent readers and writers, wrap the index in a Live
+	// handle: readers pin immutable snapshots (one atomic load, no
+	// locks) while a single apply loop publishes copy-on-write updates.
+	// LiveFrom takes ownership — do not use idx directly afterward.
+	live := twolayer.LiveFrom(idx, twolayer.LiveOptions{})
+	defer live.Close()
+	epoch, _ := live.Insert(twolayer.ID(len(rects))+1, extra)
+	snap := live.Snapshot() // immutable; safe from any goroutine
+	fmt.Printf("live epoch %d: %d objects in window\n", epoch, snap.WindowCount(window))
 }

@@ -92,6 +92,24 @@ func SuggestGridSize(n int) int {
 	return g
 }
 
+// Validate reports why the options cannot build an index, or nil. Build
+// and New panic on invalid options (via the grid constructor); callers
+// that prefer errors validate first or use BuildErr.
+func (o Options) Validate() error {
+	if o.NX < 0 || o.NY < 0 {
+		return fmt.Errorf("core: negative grid dimensions %dx%d", o.NX, o.NY)
+	}
+	if o.DenseDirectoryLimit < 0 {
+		return fmt.Errorf("core: negative DenseDirectoryLimit %d", o.DenseDirectoryLimit)
+	}
+	if o.Space != (geom.Rect{}) {
+		if !o.Space.Valid() || o.Space.Width() <= 0 || o.Space.Height() <= 0 {
+			return fmt.Errorf("core: degenerate space %v", o.Space)
+		}
+	}
+	return nil
+}
+
 func (o Options) withDefaults() Options {
 	if o.NX == 0 {
 		o.NX = 256
@@ -113,6 +131,12 @@ func (o Options) withDefaults() Options {
 type tile struct {
 	classes [4][]spatial.Entry
 	dec     *decTile // nil until built; invalidated by updates
+	// epoch is the copy-on-write generation that privately owns the class
+	// slices. Mutations compare it against the index epoch: on a mismatch
+	// (the tile is shared with an older published snapshot) the slices are
+	// cloned first. Directly built indices stay at epoch 0 throughout, so
+	// the check never copies anything on the non-MVCC path.
+	epoch uint64
 }
 
 func (t *tile) size() int {
@@ -137,6 +161,15 @@ type Index struct {
 	size    int              // number of distinct objects inserted
 	knn     *knnState        // lazily allocated kNN scratch space
 
+	// epoch is the copy-on-write generation of this index: 0 for a
+	// directly built index, the publish sequence number for snapshots
+	// descending from CloneCOW (see Live).
+	epoch uint64
+	// sharedDir marks the tile directory (dense/sparse plus tileIDs) as
+	// shared with an older snapshot; it is copied before the first tile
+	// allocation (existing-tile lookups never mutate it).
+	sharedDir bool
+
 	// Stats, when non-nil, accumulates instrumentation counters during
 	// queries (exclusive mode: see the Stats type). Setting it on a shared
 	// Index makes queries unsafe for concurrent use; for concurrent
@@ -158,6 +191,71 @@ func (ix *Index) View(s *Stats) *Index {
 	cp.knn = nil // detach shared kNN scratch; the view grows its own
 	cp.Stats = s
 	return &cp
+}
+
+// Epoch returns the copy-on-write generation of the index: 0 for a
+// directly built index, and a strictly increasing publish sequence number
+// for snapshots obtained from a Live index.
+func (ix *Index) Epoch() uint64 { return ix.epoch }
+
+// CloneCOW returns a writable copy of the index for the next epoch, while
+// ix remains a consistent immutable snapshot that concurrent readers may
+// keep querying. The copy shares all entry storage (class slices and
+// decomposed tables) with ix: Insert and Delete on the copy clone the
+// class slices of a touched tile on first touch (copy-on-write at tile
+// granularity), and the tile directory is copied only if a previously
+// empty tile is populated. The fixed per-clone cost is a shallow copy of
+// the tile table — one small struct per occupied tile — which batching
+// writers (see Live) amortize over many mutations per publish.
+func (ix *Index) CloneCOW() *Index {
+	cp := *ix
+	cp.epoch++
+	cp.tiles = make([]tile, len(ix.tiles))
+	copy(cp.tiles, ix.tiles)
+	cp.sharedDir = true
+	cp.knn = nil
+	cp.Stats = nil
+	return &cp
+}
+
+// unshareDir gives a cloned index a private tile directory before its
+// first tile allocation. Appends to tileIDs and directory writes would
+// otherwise be visible to (or race with) readers of older snapshots.
+func (ix *Index) unshareDir() {
+	if ix.dense != nil {
+		d := make([]int32, len(ix.dense))
+		copy(d, ix.dense)
+		ix.dense = d
+	} else {
+		m := make(map[int32]int32, len(ix.sparse)+1)
+		for k, v := range ix.sparse {
+			m[k] = v
+		}
+		ix.sparse = m
+	}
+	ids := make([]int32, len(ix.tileIDs), len(ix.tileIDs)+1)
+	copy(ids, ix.tileIDs)
+	ix.tileIDs = ids
+	ix.sharedDir = false
+}
+
+// cowTile makes t's class slices privately owned by the current epoch,
+// cloning them on the first mutation after CloneCOW. On a directly built
+// index (epoch 0 everywhere) this is a single predictable branch.
+func (ix *Index) cowTile(t *tile) {
+	if t.epoch == ix.epoch {
+		return
+	}
+	for c := range t.classes {
+		if n := len(t.classes[c]); n > 0 {
+			cl := make([]spatial.Entry, n)
+			copy(cl, t.classes[c])
+			t.classes[c] = cl
+		} else {
+			t.classes[c] = nil // drop any backing shared with older epochs
+		}
+	}
+	t.epoch = ix.epoch
 }
 
 // New builds an empty two-layer index.
@@ -195,6 +293,27 @@ func Build(d *spatial.Dataset, opts Options) *Index {
 	return ix
 }
 
+// BuildErr is the error-returning variant of Build: invalid options, an
+// inconsistent dataset, or a space that cannot be derived from the data
+// produce an error instead of a panic.
+func BuildErr(d *spatial.Dataset, opts Options) (*Index, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Space == (geom.Rect{}) {
+		space := d.MBR()
+		if !space.Valid() || space.Width() <= 0 || space.Height() <= 0 {
+			return nil, fmt.Errorf(
+				"core: data bounding box %v is degenerate; set Options.Space", space)
+		}
+		opts.Space = space
+	}
+	return Build(d, opts), nil
+}
+
 // Grid exposes the primary partitioning (read-only).
 func (ix *Index) Grid() *grid.Grid { return ix.g }
 
@@ -226,18 +345,21 @@ func (ix *Index) tileFor(tx, ty int) *tile {
 		if slot := ix.dense[id]; slot >= 0 {
 			return &ix.tiles[slot]
 		}
-		ix.tiles = append(ix.tiles, tile{})
-		ix.tileIDs = append(ix.tileIDs, id)
-		ix.dense[id] = int32(len(ix.tiles) - 1)
-		return &ix.tiles[len(ix.tiles)-1]
-	}
-	if slot, ok := ix.sparse[id]; ok {
+	} else if slot, ok := ix.sparse[id]; ok {
 		return &ix.tiles[slot]
+	}
+	if ix.sharedDir {
+		ix.unshareDir()
 	}
 	ix.tiles = append(ix.tiles, tile{})
 	ix.tileIDs = append(ix.tileIDs, id)
-	ix.sparse[id] = int32(len(ix.tiles) - 1)
-	return &ix.tiles[len(ix.tiles)-1]
+	slot := int32(len(ix.tiles) - 1)
+	if ix.dense != nil {
+		ix.dense[id] = slot
+	} else {
+		ix.sparse[id] = slot
+	}
+	return &ix.tiles[slot]
 }
 
 // classify returns the class of an entry in tile (tx,ty), given the cover
@@ -271,6 +393,7 @@ func (ix *Index) insert(e spatial.Entry) {
 	for ty := ay; ty <= by; ty++ {
 		for tx := ax; tx <= bx; tx++ {
 			t := ix.tileFor(tx, ty)
+			ix.cowTile(t)
 			c := classify(tx, ty, ax, ay)
 			t.classes[c] = append(t.classes[c], e)
 			t.dec = nil // decomposed tables are now stale
@@ -301,6 +424,10 @@ func (ix *Index) Delete(id spatial.ID, r geom.Rect) bool {
 			list := t.classes[c]
 			for i := range list {
 				if list[i].ID == id {
+					// Clone shared storage before the in-place swap-remove;
+					// the clone invalidates list, so re-fetch it.
+					ix.cowTile(t)
+					list = t.classes[c]
 					list[i] = list[len(list)-1]
 					t.classes[c] = list[:len(list)-1]
 					t.dec = nil

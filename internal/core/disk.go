@@ -96,6 +96,35 @@ func (ix *Index) Disk(center geom.Point, radius float64, fn func(e spatial.Entry
 	}
 }
 
+// DiskUntil streams disk results until fn returns false, reporting
+// whether the query ran to completion. Like WindowUntil, termination is
+// tile-granular: results already produced by the current tile still
+// arrive at fn before the scan stops.
+func (ix *Index) DiskUntil(center geom.Point, radius float64, fn func(e spatial.Entry) bool) bool {
+	dc := ix.diskCoverFor(center, radius)
+	if dc == nil {
+		return true
+	}
+	r2 := radius * radius
+	stopped := false
+	sink := func(e spatial.Entry) {
+		if !stopped && !fn(e) {
+			stopped = true
+		}
+	}
+	for ty := dc.y0; ty <= dc.y1 && !stopped; ty++ {
+		lo, hi := dc.rowMin[ty-dc.y0], dc.rowMax[ty-dc.y0]
+		for tx := lo; tx <= hi && !stopped; tx++ {
+			t := ix.tileAt(tx, ty)
+			if t == nil {
+				continue
+			}
+			ix.diskOnTile(t, tx, ty, dc, center, radius, r2, sink)
+		}
+	}
+	return !stopped
+}
+
 // DiskIDs runs Disk and collects result IDs into buf.
 func (ix *Index) DiskIDs(center geom.Point, radius float64, buf []spatial.ID) []spatial.ID {
 	buf = buf[:0]

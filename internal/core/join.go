@@ -1,10 +1,22 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
 	"github.com/twolayer/twolayer/internal/spatial"
+)
+
+// Join precondition errors, reported by Joinable (and carried by the
+// panics of Join and JoinParallel).
+var (
+	// ErrSelfJoin means both operands are the same Index instance; build a
+	// second index over the same data instead.
+	ErrSelfJoin = errors.New("core: self-join needs two index instances over the data")
+	// ErrGridMismatch means the operands were built over different grid
+	// geometries (tile counts or space).
+	ErrGridMismatch = errors.New("core: join requires indices with identical grid geometry")
 )
 
 // This file implements the spatial intersection join R ⋈ S over two
@@ -55,15 +67,24 @@ func (ix *Index) Join(other *Index, fn func(r, s spatial.Entry)) {
 	}
 }
 
+// Joinable reports why a and b cannot be joined — ErrSelfJoin or a
+// wrapped ErrGridMismatch — or nil when they can.
+func Joinable(a, b *Index) error {
+	if a == b {
+		return ErrSelfJoin
+	}
+	if a.g.NX != b.g.NX || a.g.NY != b.g.NY || a.opts.Space != b.opts.Space {
+		return fmt.Errorf("%w: %dx%d %v vs %dx%d %v", ErrGridMismatch,
+			a.g.NX, a.g.NY, a.opts.Space, b.g.NX, b.g.NY, b.opts.Space)
+	}
+	return nil
+}
+
 // checkJoinable panics unless the two indices share a grid geometry and
 // are distinct instances.
 func checkJoinable(a, b *Index) {
-	if a == b {
-		panic("core: self-join needs two index instances over the data")
-	}
-	if a.g.NX != b.g.NX || a.g.NY != b.g.NY || a.opts.Space != b.opts.Space {
-		panic(fmt.Sprintf("core: joining incompatible grids %dx%d %v vs %dx%d %v",
-			a.g.NX, a.g.NY, a.opts.Space, b.g.NX, b.g.NY, b.opts.Space))
+	if err := Joinable(a, b); err != nil {
+		panic(err)
 	}
 }
 

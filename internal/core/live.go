@@ -1,0 +1,310 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/twolayer/twolayer/internal/geom"
+	"github.com/twolayer/twolayer/internal/spatial"
+)
+
+// This file implements the MVCC mutation layer: a Live index accepts
+// concurrent Insert/Delete traffic while readers keep querying immutable
+// snapshots with zero locks on the hot path.
+//
+// Readers call Snapshot, an atomic pointer load, and query the returned
+// *Index exactly like a static one; a pinned snapshot never changes, so a
+// reader sees one consistent epoch for its whole request. Writers submit
+// mutations to a single-writer apply loop that batches whatever is
+// pending, applies the batch copy-on-write to a clone of the current
+// snapshot (CloneCOW: only touched tiles deep-copy their entry storage —
+// grid replication keeps the touched-tile set small per mutation), and
+// atomically publishes the clone as the next epoch. Submissions block
+// until their batch is published, so a writer that got its ack observes
+// its own write in every later Snapshot (read-your-writes).
+//
+// The extended journal version of the paper ("Two-layer Space-oriented
+// Partitioning for Non-point Data") studies updatable two-layer grids and
+// recommends batch maintenance of the decomposed tables; Live follows
+// that advice by re-running BuildDecomposed every RebuildEvery mutations
+// on 2-layer+ indices, inside the apply loop, so rebuilds never block
+// readers either.
+
+// ErrLiveClosed is returned for mutations submitted after Close.
+var ErrLiveClosed = errors.New("core: live index is closed")
+
+// LiveOptions tune the apply loop of a Live index.
+type LiveOptions struct {
+	// MaxBatch caps the mutations applied per published snapshot.
+	// Larger batches amortize the per-publish snapshot clone over more
+	// mutations; smaller ones reduce writer-observed latency.
+	// Defaults to 256.
+	MaxBatch int
+	// QueueDepth is the capacity of the mutation queue; submissions
+	// beyond it block (backpressure). Defaults to 1024.
+	QueueDepth int
+	// RebuildEvery re-runs BuildDecomposed after this many applied
+	// mutations on indices built with Decompose, restoring the 2-layer+
+	// binary-search path for tiles dirtied by updates. 0 means the
+	// default of 4096; negative disables rebuilding.
+	RebuildEvery int
+}
+
+func (o LiveOptions) withDefaults() LiveOptions {
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 256
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 1024
+	}
+	if o.RebuildEvery == 0 {
+		o.RebuildEvery = 4096
+	}
+	return o
+}
+
+// Mutation is one pending update: an insertion of Entry, or — when Delete
+// is set — the removal of the object with Entry's ID and exact MBR.
+type Mutation struct {
+	Delete bool
+	Entry  spatial.Entry
+}
+
+// ApplyResult reports the outcome of a published mutation batch.
+type ApplyResult struct {
+	// Epoch is the snapshot epoch in which the mutations became visible.
+	Epoch uint64
+	// Found reports, per mutation, whether a delete found its object;
+	// insert positions are always true.
+	Found []bool
+}
+
+type applyAck struct {
+	res ApplyResult
+	err error
+}
+
+type applyReq struct {
+	muts []Mutation
+	done chan applyAck
+}
+
+// LiveStats is a point-in-time view of the apply loop's bookkeeping.
+type LiveStats struct {
+	Epoch       uint64        // epoch of the current snapshot
+	Objects     int           // objects in the current snapshot
+	Pending     int64         // mutations accepted but not yet published
+	Applied     uint64        // mutations applied since NewLive
+	Publishes   uint64        // snapshots published
+	Rebuilds    uint64        // decomposed-table rebuilds performed
+	LastBatch   int64         // mutations in the most recent publish
+	LastPublish time.Duration // wall time of the most recent publish
+}
+
+// Live is an updatable two-layer index serving lock-free reads: Snapshot
+// returns an immutable *Index readers query without synchronization,
+// while a single apply goroutine batches submitted mutations and
+// publishes copy-on-write snapshots. All methods are safe for concurrent
+// use.
+type Live struct {
+	snap atomic.Pointer[Index]
+	opt  LiveOptions
+
+	mu     sync.Mutex // serializes submissions against Close
+	ops    chan applyReq
+	closed bool
+	wg     sync.WaitGroup
+
+	pending       atomic.Int64
+	applied       atomic.Uint64
+	publishes     atomic.Uint64
+	rebuilds      atomic.Uint64
+	lastBatch     atomic.Int64
+	lastPublishNS atomic.Int64
+}
+
+// NewLive wraps ix, which becomes epoch-0 snapshot of the Live index.
+// NewLive takes ownership: the caller must not query or mutate ix
+// directly afterward. Any dataset reference is dropped — snapshots serve
+// the filtering layer (MBR queries) only, since exact geometries cannot
+// be attached to objects inserted later. Call Close when done to stop the
+// apply goroutine.
+func NewLive(ix *Index, opt LiveOptions) *Live {
+	ix.dataset = nil
+	ix.Stats = nil
+	ix.knn = nil
+	l := &Live{
+		opt: opt.withDefaults(),
+	}
+	l.ops = make(chan applyReq, l.opt.QueueDepth)
+	l.snap.Store(ix)
+	l.wg.Add(1)
+	go l.run()
+	return l
+}
+
+// Snapshot returns the current published snapshot: one atomic load, no
+// locks. The result is immutable — it never changes as later mutations
+// are published — and safe for any number of concurrent readers; as with
+// any shared Index, run kNN or stats-instrumented queries through
+// per-goroutine views (Index.View).
+func (l *Live) Snapshot() *Index { return l.snap.Load() }
+
+// Insert adds one object and blocks until the insertion is published,
+// returning the epoch that made it visible.
+func (l *Live) Insert(e spatial.Entry) (uint64, error) {
+	res, err := l.Apply([]Mutation{{Entry: e}})
+	if err != nil {
+		return 0, err
+	}
+	return res.Epoch, nil
+}
+
+// Delete removes the object with the given ID and exact MBR, blocking
+// until the removal is published. It reports whether the object was found
+// and the epoch of the publishing snapshot.
+func (l *Live) Delete(id spatial.ID, r geom.Rect) (found bool, epoch uint64, err error) {
+	res, err := l.Apply([]Mutation{{Delete: true, Entry: spatial.Entry{ID: id, Rect: r}}})
+	if err != nil {
+		return false, 0, err
+	}
+	return res.Found[0], res.Epoch, nil
+}
+
+// Apply submits a batch of mutations and blocks until they are published
+// in one snapshot (all-or-nothing visibility). It returns ErrLiveClosed
+// after Close, and a validation error — with nothing applied — if any
+// mutation carries an invalid rectangle.
+func (l *Live) Apply(muts []Mutation) (ApplyResult, error) {
+	if len(muts) == 0 {
+		return ApplyResult{Epoch: l.Snapshot().epoch}, nil
+	}
+	for i := range muts {
+		if !muts[i].Entry.Rect.Valid() {
+			return ApplyResult{}, fmt.Errorf(
+				"core: mutation %d has invalid rect %v (id %d)",
+				i, muts[i].Entry.Rect, muts[i].Entry.ID)
+		}
+	}
+	req := applyReq{muts: muts, done: make(chan applyAck, 1)}
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return ApplyResult{}, ErrLiveClosed
+	}
+	l.pending.Add(int64(len(muts)))
+	// Enqueue under the lock so Close cannot close the channel between
+	// the closed check and the send. The apply loop never takes the lock,
+	// so a full queue drains and the send completes.
+	l.ops <- req
+	l.mu.Unlock()
+	ack := <-req.done
+	return ack.res, ack.err
+}
+
+// Stats returns a consistent-enough point-in-time view of the apply
+// loop's counters for monitoring.
+func (l *Live) Stats() LiveStats {
+	s := l.Snapshot()
+	return LiveStats{
+		Epoch:       s.epoch,
+		Objects:     s.size,
+		Pending:     l.pending.Load(),
+		Applied:     l.applied.Load(),
+		Publishes:   l.publishes.Load(),
+		Rebuilds:    l.rebuilds.Load(),
+		LastBatch:   l.lastBatch.Load(),
+		LastPublish: time.Duration(l.lastPublishNS.Load()),
+	}
+}
+
+// Close drains already-accepted mutations, publishes them, and stops the
+// apply goroutine. Mutations submitted after Close fail with
+// ErrLiveClosed; Snapshot keeps serving the final snapshot. Close is
+// idempotent.
+func (l *Live) Close() {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return
+	}
+	l.closed = true
+	close(l.ops)
+	l.mu.Unlock()
+	l.wg.Wait()
+}
+
+// run is the single-writer apply loop: receive one request, drain up to
+// MaxBatch pending mutations, apply them to a copy-on-write clone,
+// publish, ack.
+func (l *Live) run() {
+	defer l.wg.Done()
+	var batch []applyReq
+	opsSinceRebuild := 0
+	for {
+		first, ok := <-l.ops
+		if !ok {
+			return
+		}
+		batch = append(batch[:0], first)
+		n := len(first.muts)
+	drain:
+		for n < l.opt.MaxBatch {
+			select {
+			case req, ok := <-l.ops:
+				if !ok {
+					break drain
+				}
+				batch = append(batch, req)
+				n += len(req.muts)
+			default:
+				break drain
+			}
+		}
+		opsSinceRebuild += n
+		rebuild := false
+		if l.opt.RebuildEvery > 0 && opsSinceRebuild >= l.opt.RebuildEvery &&
+			l.Snapshot().opts.Decompose {
+			rebuild = true
+			opsSinceRebuild = 0
+		}
+		l.publish(batch, n, rebuild)
+	}
+}
+
+// publish applies one batch to a clone of the current snapshot and makes
+// the clone the next epoch.
+func (l *Live) publish(batch []applyReq, n int, rebuild bool) {
+	start := time.Now()
+	next := l.Snapshot().CloneCOW()
+	found := make([][]bool, len(batch))
+	for bi, req := range batch {
+		f := make([]bool, len(req.muts))
+		for i, m := range req.muts {
+			if m.Delete {
+				f[i] = next.Delete(m.Entry.ID, m.Entry.Rect)
+			} else {
+				next.Insert(m.Entry)
+				f[i] = true
+			}
+		}
+		found[bi] = f
+	}
+	if rebuild {
+		next.BuildDecomposed()
+		l.rebuilds.Add(1)
+	}
+	l.snap.Store(next)
+
+	l.applied.Add(uint64(n))
+	l.publishes.Add(1)
+	l.lastBatch.Store(int64(n))
+	l.lastPublishNS.Store(time.Since(start).Nanoseconds())
+	l.pending.Add(-int64(n))
+	for bi, req := range batch {
+		req.done <- applyAck{res: ApplyResult{Epoch: next.epoch, Found: found[bi]}}
+	}
+}

@@ -1,0 +1,281 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"github.com/twolayer/twolayer/internal/geom"
+	"github.com/twolayer/twolayer/internal/spatial"
+)
+
+var unitSquare = geom.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}
+
+func everything() geom.Rect {
+	return geom.Rect{MinX: -10, MinY: -10, MaxX: 10, MaxY: 10}
+}
+
+// TestCloneCOWIsolation: mutating a clone must not change the original,
+// across inserts, deletes, and tiles shared between epochs.
+func TestCloneCOWIsolation(t *testing.T) {
+	rnd := rand.New(rand.NewSource(7))
+	ix, d := buildRandom(rnd, 2000, 0.05, Options{NX: 32, NY: 32, Space: unitSquare})
+	wantIDs := ix.WindowIDs(everything(), nil)
+
+	cl := ix.CloneCOW()
+	if cl.Epoch() != ix.Epoch()+1 {
+		t.Fatalf("clone epoch = %d, want %d", cl.Epoch(), ix.Epoch()+1)
+	}
+	// Delete half the objects and insert some new ones through the clone.
+	for id := 0; id < 1000; id++ {
+		if !cl.Delete(spatial.ID(id), d.Entries[id].Rect) {
+			t.Fatalf("clone delete %d not found", id)
+		}
+	}
+	for i := 0; i < 500; i++ {
+		r := randRects(rnd, 1, 0.05)[0]
+		cl.Insert(spatial.Entry{ID: spatial.ID(5000 + i), Rect: r})
+	}
+
+	// Original unchanged, exactly.
+	sameIDs(t, ix.WindowIDs(everything(), nil), wantIDs, "original after clone mutation")
+	if ix.Len() != 2000 {
+		t.Fatalf("original Len = %d, want 2000", ix.Len())
+	}
+	// Clone holds the mutated object set.
+	if cl.Len() != 1500 {
+		t.Fatalf("clone Len = %d, want 1500", cl.Len())
+	}
+	got := cl.WindowIDs(everything(), nil)
+	noDuplicates(t, got, "clone full scan")
+	if len(got) != 1500 {
+		t.Fatalf("clone full scan returned %d, want 1500", len(got))
+	}
+}
+
+// TestCloneCOWNewTiles: populating previously empty tiles in a clone must
+// not surface in the original (directory copy-on-write), for both dense
+// and sparse directories.
+func TestCloneCOWNewTiles(t *testing.T) {
+	for _, sparse := range []bool{false, true} {
+		ix := New(Options{NX: 16, NY: 16, Space: unitSquare, SparseDirectory: sparse})
+		ix.Insert(spatial.Entry{ID: 0, Rect: geom.Rect{MinX: 0.1, MinY: 0.1, MaxX: 0.12, MaxY: 0.12}})
+		cl := ix.CloneCOW()
+		// Far corner: guaranteed new tiles.
+		cl.Insert(spatial.Entry{ID: 1, Rect: geom.Rect{MinX: 0.9, MinY: 0.9, MaxX: 0.92, MaxY: 0.92}})
+		if n := ix.WindowCount(everything()); n != 1 {
+			t.Fatalf("sparse=%v: original sees %d objects, want 1", sparse, n)
+		}
+		if n := cl.WindowCount(everything()); n != 2 {
+			t.Fatalf("sparse=%v: clone sees %d objects, want 2", sparse, n)
+		}
+	}
+}
+
+// TestLiveBasic: inserts and deletes through Live become visible in
+// snapshots with monotonically increasing epochs.
+func TestLiveBasic(t *testing.T) {
+	l := NewLive(New(Options{NX: 16, NY: 16, Space: unitSquare}), LiveOptions{})
+	defer l.Close()
+
+	s0 := l.Snapshot()
+	if s0.Epoch() != 0 || s0.Len() != 0 {
+		t.Fatalf("seed snapshot epoch=%d len=%d, want 0/0", s0.Epoch(), s0.Len())
+	}
+	r := geom.Rect{MinX: 0.4, MinY: 0.4, MaxX: 0.45, MaxY: 0.45}
+	epoch, err := l.Insert(spatial.Entry{ID: 42, Rect: r})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch == 0 {
+		t.Fatal("insert published at epoch 0")
+	}
+	// Read-your-writes: the ack implies visibility.
+	if n := l.Snapshot().WindowCount(everything()); n != 1 {
+		t.Fatalf("after insert: %d objects, want 1", n)
+	}
+	// Old pinned snapshot still sees nothing.
+	if n := s0.WindowCount(everything()); n != 0 {
+		t.Fatalf("pinned snapshot sees %d objects, want 0", n)
+	}
+
+	found, epoch2, err := l.Delete(42, r)
+	if err != nil || !found {
+		t.Fatalf("delete: found=%v err=%v", found, err)
+	}
+	if epoch2 <= epoch {
+		t.Fatalf("delete epoch %d not after insert epoch %d", epoch2, epoch)
+	}
+	if found, _, _ := l.Delete(42, r); found {
+		t.Fatal("second delete reported found")
+	}
+	if n := l.Snapshot().Len(); n != 0 {
+		t.Fatalf("after delete: Len=%d, want 0", n)
+	}
+
+	st := l.Stats()
+	if st.Applied != 3 || st.Publishes == 0 || st.Pending != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestLiveApplyBatch: a batch is all-or-nothing visible and reports
+// per-mutation delete outcomes.
+func TestLiveApplyBatch(t *testing.T) {
+	l := NewLive(New(Options{NX: 8, NY: 8, Space: unitSquare}), LiveOptions{})
+	defer l.Close()
+
+	r1 := geom.Rect{MinX: 0.1, MinY: 0.1, MaxX: 0.2, MaxY: 0.2}
+	r2 := geom.Rect{MinX: 0.6, MinY: 0.6, MaxX: 0.7, MaxY: 0.7}
+	res, err := l.Apply([]Mutation{
+		{Entry: spatial.Entry{ID: 1, Rect: r1}},
+		{Entry: spatial.Entry{ID: 2, Rect: r2}},
+		{Delete: true, Entry: spatial.Entry{ID: 1, Rect: r1}},
+		{Delete: true, Entry: spatial.Entry{ID: 9, Rect: r2}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []bool{true, true, true, false}
+	for i, f := range res.Found {
+		if f != want[i] {
+			t.Fatalf("Found[%d] = %v, want %v", i, f, want[i])
+		}
+	}
+	if n := l.Snapshot().Len(); n != 1 {
+		t.Fatalf("Len = %d, want 1", n)
+	}
+
+	// Invalid rects are rejected up front, applying nothing.
+	if _, err := l.Apply([]Mutation{
+		{Entry: spatial.Entry{ID: 3, Rect: geom.Rect{MinX: 1, MinY: 0, MaxX: 0, MaxY: 1}}},
+	}); err == nil {
+		t.Fatal("invalid rect accepted")
+	}
+	if n := l.Snapshot().Len(); n != 1 {
+		t.Fatalf("Len after rejected batch = %d, want 1", n)
+	}
+}
+
+// TestLiveClose: Close flushes accepted mutations and later submissions
+// fail with ErrLiveClosed.
+func TestLiveClose(t *testing.T) {
+	l := NewLive(New(Options{NX: 8, NY: 8, Space: unitSquare}), LiveOptions{})
+	if _, err := l.Insert(spatial.Entry{ID: 1, Rect: geom.Rect{MinX: 0.1, MinY: 0.1, MaxX: 0.2, MaxY: 0.2}}); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	l.Close() // idempotent
+	if _, err := l.Insert(spatial.Entry{ID: 2, Rect: geom.Rect{MinX: 0.3, MinY: 0.3, MaxX: 0.4, MaxY: 0.4}}); !errors.Is(err, ErrLiveClosed) {
+		t.Fatalf("insert after close: err = %v, want ErrLiveClosed", err)
+	}
+	if n := l.Snapshot().Len(); n != 1 {
+		t.Fatalf("final snapshot Len = %d, want 1", n)
+	}
+}
+
+// TestLiveRebuildDecomposed: on a Decompose index, the apply loop
+// periodically restores the decomposed tables; queries stay exact
+// throughout.
+func TestLiveRebuildDecomposed(t *testing.T) {
+	rnd := rand.New(rand.NewSource(11))
+	d := spatial.NewDataset(randRects(rnd, 500, 0.05))
+	ix := Build(d, Options{NX: 16, NY: 16, Space: unitSquare, Decompose: true})
+	l := NewLive(ix, LiveOptions{MaxBatch: 8, RebuildEvery: 16})
+	defer l.Close()
+
+	for i := 0; i < 64; i++ {
+		r := randRects(rnd, 1, 0.05)[0]
+		if _, err := l.Insert(spatial.Entry{ID: spatial.ID(1000 + i), Rect: r}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if l.Stats().Rebuilds == 0 {
+		t.Fatal("no decomposed rebuilds after 64 mutations with RebuildEvery=16")
+	}
+	s := l.Snapshot()
+	got := s.WindowIDs(everything(), nil)
+	noDuplicates(t, got, "full scan after rebuilds")
+	if len(got) != 564 {
+		t.Fatalf("full scan returned %d, want 564", len(got))
+	}
+	// Spot-check a few windows against brute force over the same snapshot.
+	all := make([]spatial.Entry, 0, s.Len())
+	s.Window(everything(), func(e spatial.Entry) { all = append(all, e) })
+	for i := 0; i < 20; i++ {
+		w := randWindow(rnd, 0.3)
+		sameIDs(t, s.WindowIDs(w, nil), spatial.BruteWindow(all, w), "window after rebuilds")
+	}
+}
+
+// TestBuildErr covers the error-returning build variant.
+func TestBuildErr(t *testing.T) {
+	d := spatial.NewDataset(randRects(rand.New(rand.NewSource(3)), 10, 0.1))
+	if _, err := BuildErr(d, Options{NX: -1}); err == nil {
+		t.Fatal("negative NX accepted")
+	}
+	if _, err := BuildErr(d, Options{Space: geom.Rect{MinX: 0, MinY: 0, MaxX: 0, MaxY: 1}}); err == nil {
+		t.Fatal("degenerate space accepted")
+	}
+	// Degenerate data MBR without an explicit space errors instead of
+	// panicking.
+	pt := spatial.NewDataset([]geom.Rect{{MinX: 0.5, MinY: 0.5, MaxX: 0.5, MaxY: 0.5}})
+	if _, err := BuildErr(pt, Options{}); err == nil {
+		t.Fatal("degenerate data MBR accepted")
+	}
+	ix, err := BuildErr(d, Options{NX: 8, NY: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", ix.Len())
+	}
+}
+
+// TestJoinable covers the error-returning join precondition.
+func TestJoinable(t *testing.T) {
+	rnd := rand.New(rand.NewSource(5))
+	a, _ := buildRandom(rnd, 100, 0.05, Options{NX: 8, NY: 8, Space: unitSquare})
+	b, _ := buildRandom(rnd, 100, 0.05, Options{NX: 8, NY: 8, Space: unitSquare})
+	c, _ := buildRandom(rnd, 100, 0.05, Options{NX: 16, NY: 16, Space: unitSquare})
+	if err := Joinable(a, b); err != nil {
+		t.Fatalf("compatible indices: %v", err)
+	}
+	if err := Joinable(a, a); !errors.Is(err, ErrSelfJoin) {
+		t.Fatalf("self-join: err = %v, want ErrSelfJoin", err)
+	}
+	if err := Joinable(a, c); !errors.Is(err, ErrGridMismatch) {
+		t.Fatalf("mismatched grids: err = %v, want ErrGridMismatch", err)
+	}
+}
+
+// TestDiskUntil: early termination is honored and a full run matches Disk.
+func TestDiskUntil(t *testing.T) {
+	rnd := rand.New(rand.NewSource(9))
+	ix, _ := buildRandom(rnd, 2000, 0.05, Options{NX: 32, NY: 32, Space: unitSquare})
+	center := geom.Point{X: 0.5, Y: 0.5}
+	total := ix.DiskCount(center, 0.2)
+	if total < 10 {
+		t.Fatalf("weak test: only %d disk results", total)
+	}
+	var got []spatial.ID
+	if !ix.DiskUntil(center, 0.2, func(e spatial.Entry) bool {
+		got = append(got, e.ID)
+		return true
+	}) {
+		t.Fatal("uninterrupted DiskUntil reported early stop")
+	}
+	sameIDs(t, got, ix.DiskIDs(center, 0.2, nil), "DiskUntil full run")
+
+	seen := 0
+	completed := ix.DiskUntil(center, 0.2, func(spatial.Entry) bool {
+		seen++
+		return seen < 5
+	})
+	if completed {
+		t.Fatal("interrupted DiskUntil reported completion")
+	}
+	if seen >= total {
+		t.Fatalf("early stop scanned all %d results", seen)
+	}
+}

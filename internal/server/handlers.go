@@ -127,9 +127,28 @@ type batchResponse struct {
 
 // ---- shared helpers -------------------------------------------------------
 
+// index returns the index this request should read: the current pinned
+// snapshot in live mode (immutable; later mutations go into later
+// snapshots), or the static shared index.
+func (s *Server) index() *twolayer.Index {
+	if s.live != nil {
+		return s.live.Snapshot()
+	}
+	return s.idx
+}
+
 // view returns the index view this request should query through, plus a
-// flush to call once the query finished successfully.
+// flush to call once the query finished successfully. Live snapshots are
+// already private read views; static indices get one here.
 func (s *Server) view() (view *twolayer.Index, flush func()) {
+	if s.live != nil {
+		snap := s.live.Snapshot()
+		if s.cfg.CollectStats {
+			v, stats := snap.Instrumented()
+			return v, func() { s.agg.Observe(stats) }
+		}
+		return snap, func() {}
+	}
 	if s.cfg.CollectStats {
 		v, stats := s.idx.Instrumented()
 		return v, func() { s.agg.Observe(stats) }
@@ -153,11 +172,12 @@ func clampLimit(limit int) (int, bool) {
 }
 
 // requireExactable guards exact=true queries: they need the original
-// geometries, which snapshot-loaded indices do not carry.
+// geometries, which snapshot-loaded indices and live snapshots (whose
+// objects can be inserted after the build) do not carry.
 func (s *Server) requireExactable(w http.ResponseWriter) bool {
-	if !s.idx.HasExactGeometries() {
+	if s.live != nil || !s.idx.HasExactGeometries() {
 		writeError(w, http.StatusBadRequest,
-			"exact queries unavailable: index was loaded from a snapshot without geometries")
+			"exact queries unavailable: snapshot-loaded and live indices do not carry exact geometries")
 		return false
 	}
 	return true
@@ -382,13 +402,15 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// Batches run uninstrumented on the shared index: the tiles-based
-	// strategy interleaves queries across worker goroutines, so a single
-	// per-request Stats would race (see docs/SERVER.md).
+	// Batches run uninstrumented on the shared index (or one pinned live
+	// snapshot): the tiles-based strategy interleaves queries across
+	// worker goroutines, so a single per-request Stats would race (see
+	// docs/SERVER.md).
 	if r.Context().Err() != nil {
 		writeTimeout(w)
 		return
 	}
+	idx := s.index()
 	resp := batchResponse{Mode: req.Mode, Threads: threads}
 	start := time.Now()
 	if len(req.Windows) > 0 {
@@ -401,7 +423,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			}
 			rects[i] = rj.toRect()
 		}
-		resp.Counts = s.idx.BatchWindowCounts(rects, strategy, threads)
+		resp.Counts = idx.BatchWindowCounts(rects, strategy, threads)
 	} else {
 		disks := make([]twolayer.Disk, len(req.Disks))
 		for i, dj := range req.Disks {
@@ -420,7 +442,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 				Radius: dj.Radius,
 			}
 		}
-		resp.Counts = s.idx.BatchDiskCounts(disks, strategy, threads)
+		resp.Counts = idx.BatchDiskCounts(disks, strategy, threads)
 	}
 	for _, c := range resp.Counts {
 		resp.Total += c
@@ -454,25 +476,53 @@ type countersJSON struct {
 	DistanceComputations int64 `json:"distance_computations"`
 }
 
+// liveStatsJSON reports the apply loop of a live-mode server: the
+// published epoch, the mutation backlog, and publish totals/latency.
+type liveStatsJSON struct {
+	Epoch         uint64 `json:"epoch"`
+	PendingOps    int64  `json:"pending_ops"`
+	AppliedOps    uint64 `json:"applied_ops"`
+	Publishes     uint64 `json:"publishes"`
+	Rebuilds      uint64 `json:"rebuilds"`
+	LastBatch     int64  `json:"last_batch"`
+	LastPublishUS int64  `json:"last_publish_us"`
+}
+
 type statsResponse struct {
-	Index           indexInfoJSON `json:"index"`
-	StatsEnabled    bool          `json:"stats_enabled"`
-	QueriesObserved int64         `json:"queries_observed"`
-	Counters        countersJSON  `json:"counters"`
+	Index           indexInfoJSON  `json:"index"`
+	Live            *liveStatsJSON `json:"live,omitempty"`
+	StatsEnabled    bool           `json:"stats_enabled"`
+	QueriesObserved int64          `json:"queries_observed"`
+	Counters        countersJSON   `json:"counters"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	nx, ny := s.idx.GridDims()
+	idx := s.index()
+	nx, ny := idx.GridDims()
+	var live *liveStatsJSON
+	if s.live != nil {
+		ls := s.live.Stats()
+		live = &liveStatsJSON{
+			Epoch:         ls.Epoch,
+			PendingOps:    ls.Pending,
+			AppliedOps:    ls.Applied,
+			Publishes:     ls.Publishes,
+			Rebuilds:      ls.Rebuilds,
+			LastBatch:     ls.LastBatch,
+			LastPublishUS: ls.LastPublish.Microseconds(),
+		}
+	}
 	snap := s.agg.Snapshot()
 	writeJSON(w, http.StatusOK, statsResponse{
 		Index: indexInfoJSON{
-			Objects:           s.idx.Len(),
+			Objects:           idx.Len(),
 			GridNX:            nx,
 			GridNY:            ny,
-			ReplicationFactor: s.idx.ReplicationFactor(),
-			MemoryBytes:       s.idx.MemoryFootprint(),
-			ExactGeometries:   s.idx.HasExactGeometries(),
+			ReplicationFactor: idx.ReplicationFactor(),
+			MemoryBytes:       idx.MemoryFootprint(),
+			ExactGeometries:   idx.HasExactGeometries(),
 		},
+		Live:            live,
 		StatsEnabled:    s.cfg.CollectStats,
 		QueriesObserved: s.agg.Queries(),
 		Counters: countersJSON{
@@ -492,8 +542,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"status":  "ok",
-		"objects": s.idx.Len(),
-	})
+		"objects": s.index().Len(),
+	}
+	if s.live != nil {
+		body["epoch"] = s.live.Stats().Epoch
+	}
+	writeJSON(w, http.StatusOK, body)
 }

@@ -1,0 +1,157 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	twolayer "github.com/twolayer/twolayer"
+)
+
+// Mutation endpoints (live mode only). A call returns once its batch is
+// published, so the reported epoch — and every snapshot pinned afterward
+// — reflects the mutation (read-your-writes). Invalid rectangles are 400;
+// mutations against a closed Live are 503.
+
+type insertRequest struct {
+	ID  twolayer.ID `json:"id"`
+	MBR rectJSON    `json:"mbr"`
+}
+
+type insertResponse struct {
+	Epoch     uint64 `json:"epoch"`
+	ElapsedUS int64  `json:"elapsed_us"`
+}
+
+type deleteRequest struct {
+	ID  twolayer.ID `json:"id"`
+	MBR rectJSON    `json:"mbr"`
+}
+
+type deleteResponse struct {
+	Found     bool   `json:"found"`
+	Epoch     uint64 `json:"epoch"`
+	ElapsedUS int64  `json:"elapsed_us"`
+}
+
+type bulkMutationJSON struct {
+	// Op is "insert" (the default) or "delete".
+	Op  string      `json:"op"`
+	ID  twolayer.ID `json:"id"`
+	MBR rectJSON    `json:"mbr"`
+}
+
+type bulkRequest struct {
+	Mutations []bulkMutationJSON `json:"mutations"`
+}
+
+type bulkResponse struct {
+	// Epoch is the snapshot in which the whole batch became visible.
+	Epoch uint64 `json:"epoch"`
+	// Found has one entry per mutation: whether a delete found its
+	// object (true for every insert).
+	Found     []bool `json:"found"`
+	ElapsedUS int64  `json:"elapsed_us"`
+}
+
+// writeMutationError maps a Live submission error to an HTTP status:
+// validation failures are the client's fault (400), a closed Live means
+// the server is shutting down (503).
+func writeMutationError(w http.ResponseWriter, err error) {
+	if errors.Is(err, twolayer.ErrLiveClosed) {
+		writeError(w, http.StatusServiceUnavailable, "index is closed for updates")
+		return
+	}
+	writeError(w, http.StatusBadRequest, err.Error())
+}
+
+func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	var req insertRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if msg := req.MBR.validate(); msg != "" {
+		writeError(w, http.StatusBadRequest, msg)
+		return
+	}
+	start := time.Now()
+	epoch, err := s.live.Insert(req.ID, req.MBR.toRect())
+	if err != nil {
+		writeMutationError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, insertResponse{
+		Epoch:     epoch,
+		ElapsedUS: time.Since(start).Microseconds(),
+	})
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	var req deleteRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if msg := req.MBR.validate(); msg != "" {
+		writeError(w, http.StatusBadRequest, msg)
+		return
+	}
+	start := time.Now()
+	found, epoch, err := s.live.Delete(req.ID, req.MBR.toRect())
+	if err != nil {
+		writeMutationError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, deleteResponse{
+		Found:     found,
+		Epoch:     epoch,
+		ElapsedUS: time.Since(start).Microseconds(),
+	})
+}
+
+func (s *Server) handleBulk(w http.ResponseWriter, r *http.Request) {
+	var req bulkRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if len(req.Mutations) == 0 {
+		writeError(w, http.StatusBadRequest, `"mutations" must be non-empty`)
+		return
+	}
+	if len(req.Mutations) > MaxBatchQueries {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("bulk of %d mutations exceeds the maximum of %d",
+				len(req.Mutations), MaxBatchQueries))
+		return
+	}
+	muts := make([]twolayer.Mutation, len(req.Mutations))
+	for i, m := range req.Mutations {
+		switch m.Op {
+		case "", "insert":
+		case "delete":
+			muts[i].Delete = true
+		default:
+			writeError(w, http.StatusBadRequest,
+				fmt.Sprintf(`mutations[%d]: op must be "insert" or "delete"`, i))
+			return
+		}
+		if msg := m.MBR.validate(); msg != "" {
+			writeError(w, http.StatusBadRequest,
+				fmt.Sprintf("mutations[%d]: %s", i, msg))
+			return
+		}
+		muts[i].ID = m.ID
+		muts[i].MBR = m.MBR.toRect()
+	}
+	start := time.Now()
+	res, err := s.live.Apply(muts)
+	if err != nil {
+		writeMutationError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, bulkResponse{
+		Epoch:     res.Epoch,
+		Found:     res.Found,
+		ElapsedUS: time.Since(start).Microseconds(),
+	})
+}

@@ -1,0 +1,263 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"sync"
+	"testing"
+
+	twolayer "github.com/twolayer/twolayer"
+)
+
+// liveServer builds a live-mode server over an empty unit-square index.
+func liveServer(t *testing.T, mutate func(*Config)) (*Server, *twolayer.Live) {
+	t.Helper()
+	l, err := twolayer.NewLive(twolayer.Options{
+		GridSize: 16,
+		Space:    twolayer.Rect{MaxX: 1, MaxY: 1},
+	}, twolayer.LiveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(l.Close)
+	cfg := Config{
+		Live:   l,
+		Logger: slog.New(slog.NewTextHandler(io.Discard, nil)),
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	return New(cfg), l
+}
+
+func TestMutationEndpoints(t *testing.T) {
+	s, _ := liveServer(t, nil)
+
+	var ins insertResponse
+	w := do(t, s.Handler(), "POST", "/insert",
+		`{"id":1,"mbr":{"min_x":0.1,"min_y":0.1,"max_x":0.2,"max_y":0.2}}`, &ins)
+	if w.Code != http.StatusOK || ins.Epoch == 0 {
+		t.Fatalf("insert: status %d epoch %d, want 200 and epoch > 0", w.Code, ins.Epoch)
+	}
+
+	// The insert is visible to a query issued afterward.
+	var win rangeResponse
+	do(t, s.Handler(), "POST", "/query/window",
+		`{"rect":{"min_x":0,"min_y":0,"max_x":1,"max_y":1}}`, &win)
+	if win.Count != 1 {
+		t.Fatalf("window after insert: count %d, want 1", win.Count)
+	}
+
+	var bulk bulkResponse
+	w = do(t, s.Handler(), "POST", "/bulk",
+		`{"mutations":[
+			{"op":"insert","id":2,"mbr":{"min_x":0.5,"min_y":0.5,"max_x":0.6,"max_y":0.6}},
+			{"op":"delete","id":1,"mbr":{"min_x":0.1,"min_y":0.1,"max_x":0.2,"max_y":0.2}},
+			{"op":"delete","id":99,"mbr":{"min_x":0.3,"min_y":0.3,"max_x":0.4,"max_y":0.4}}
+		]}`, &bulk)
+	if w.Code != http.StatusOK {
+		t.Fatalf("bulk: status %d: %s", w.Code, w.Body.String())
+	}
+	if bulk.Epoch <= ins.Epoch {
+		t.Fatalf("bulk epoch %d did not advance past %d", bulk.Epoch, ins.Epoch)
+	}
+	if len(bulk.Found) != 3 || !bulk.Found[0] || !bulk.Found[1] || bulk.Found[2] {
+		t.Fatalf("bulk found = %v, want [true true false]", bulk.Found)
+	}
+
+	var del deleteResponse
+	do(t, s.Handler(), "POST", "/delete",
+		`{"id":2,"mbr":{"min_x":0.5,"min_y":0.5,"max_x":0.6,"max_y":0.6}}`, &del)
+	if !del.Found {
+		t.Fatal("delete: object 2 not found")
+	}
+	do(t, s.Handler(), "POST", "/query/window",
+		`{"rect":{"min_x":0,"min_y":0,"max_x":1,"max_y":1},"count_only":true}`, &win)
+	if win.Count != 0 {
+		t.Fatalf("window after deletes: count %d, want 0", win.Count)
+	}
+}
+
+func TestMutationValidation(t *testing.T) {
+	s, l := liveServer(t, nil)
+
+	// Inverted rectangle: 400 from every mutation endpoint.
+	bad := `{"id":1,"mbr":{"min_x":0.5,"min_y":0.5,"max_x":0.1,"max_y":0.1}}`
+	for _, path := range []string{"/insert", "/delete"} {
+		if w := do(t, s.Handler(), "POST", path, bad, nil); w.Code != http.StatusBadRequest {
+			t.Errorf("%s with inverted rect: status %d, want 400", path, w.Code)
+		}
+	}
+	w := do(t, s.Handler(), "POST", "/bulk",
+		`{"mutations":[{"op":"insert","id":1,"mbr":{"min_x":0.5,"max_x":0.1}}]}`, nil)
+	if w.Code != http.StatusBadRequest {
+		t.Errorf("bulk with inverted rect: status %d, want 400", w.Code)
+	}
+	w = do(t, s.Handler(), "POST", "/bulk",
+		`{"mutations":[{"op":"upsert","id":1,"mbr":{"max_x":0.1,"max_y":0.1}}]}`, nil)
+	if w.Code != http.StatusBadRequest {
+		t.Errorf("bulk with unknown op: status %d, want 400", w.Code)
+	}
+	w = do(t, s.Handler(), "POST", "/bulk", `{"mutations":[]}`, nil)
+	if w.Code != http.StatusBadRequest {
+		t.Errorf("empty bulk: status %d, want 400", w.Code)
+	}
+
+	// A closed Live maps to 503.
+	l.Close()
+	w = do(t, s.Handler(), "POST", "/insert",
+		`{"id":1,"mbr":{"min_x":0.1,"min_y":0.1,"max_x":0.2,"max_y":0.2}}`, nil)
+	if w.Code != http.StatusServiceUnavailable {
+		t.Errorf("insert on closed live: status %d, want 503", w.Code)
+	}
+}
+
+func TestMutationEndpointsAbsentInStaticMode(t *testing.T) {
+	s := testServer(t, nil)
+	w := do(t, s.Handler(), "POST", "/insert",
+		`{"id":1,"mbr":{"min_x":0.1,"min_y":0.1,"max_x":0.2,"max_y":0.2}}`, nil)
+	if w.Code == http.StatusOK {
+		t.Fatalf("static server accepted a mutation (status %d)", w.Code)
+	}
+}
+
+func TestConfigRequiresExactlyOneIndex(t *testing.T) {
+	for _, both := range []bool{false, true} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(both=%v) did not panic", both)
+				}
+			}()
+			cfg := Config{}
+			if both {
+				cfg.Index = testIndex(t)
+				cfg.Live = twolayer.LiveFrom(
+					twolayer.BuildRects(nil, twolayer.Options{
+						GridSize: 4, Space: twolayer.Rect{MaxX: 1, MaxY: 1},
+					}), twolayer.LiveOptions{})
+			}
+			New(cfg)
+		}()
+	}
+}
+
+func TestLiveStatsExposed(t *testing.T) {
+	s, _ := liveServer(t, func(c *Config) { c.CollectStats = true })
+
+	do(t, s.Handler(), "POST", "/insert",
+		`{"id":7,"mbr":{"min_x":0.1,"min_y":0.1,"max_x":0.2,"max_y":0.2}}`, nil)
+
+	var st statsResponse
+	do(t, s.Handler(), "GET", "/stats", "", &st)
+	if st.Live == nil {
+		t.Fatal("live stats section missing on a live-mode server")
+	}
+	if st.Live.Epoch == 0 || st.Live.AppliedOps != 1 || st.Live.Publishes == 0 {
+		t.Fatalf("live stats %+v, want epoch > 0, applied 1, publishes > 0", st.Live)
+	}
+	if st.Index.Objects != 1 {
+		t.Fatalf("index objects %d, want 1", st.Index.Objects)
+	}
+
+	var hz map[string]any
+	do(t, s.Handler(), "GET", "/healthz", "", &hz)
+	if _, ok := hz["epoch"]; !ok {
+		t.Fatal("healthz missing epoch in live mode")
+	}
+
+	// Static servers omit the live section.
+	var stStatic statsResponse
+	do(t, testServer(t, nil).Handler(), "GET", "/stats", "", &stStatic)
+	if stStatic.Live != nil {
+		t.Fatal("static server reported live stats")
+	}
+}
+
+func TestExactRejectedInLiveMode(t *testing.T) {
+	s, _ := liveServer(t, nil)
+	w := do(t, s.Handler(), "POST", "/query/window",
+		`{"rect":{"min_x":0,"min_y":0,"max_x":1,"max_y":1},"exact":true}`, nil)
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("exact query in live mode: status %d, want 400", w.Code)
+	}
+}
+
+// TestConcurrentMutationsAndQueries exercises the live server end to end
+// under -race: writers mutate over HTTP while readers run window, disk,
+// kNN, batch, and stats requests against per-request pinned snapshots.
+func TestConcurrentMutationsAndQueries(t *testing.T) {
+	s, _ := liveServer(t, func(c *Config) { c.CollectStats = true })
+	h := s.Handler()
+
+	const writers, readers, ops = 3, 3, 60
+	var wg sync.WaitGroup
+	for wr := 0; wr < writers; wr++ {
+		wg.Add(1)
+		go func(wr int) {
+			defer wg.Done()
+			for i := 0; i < ops; i++ {
+				id := wr*ops + i
+				x := float64(id%97) / 100
+				body := fmt.Sprintf(
+					`{"id":%d,"mbr":{"min_x":%g,"min_y":%g,"max_x":%g,"max_y":%g}}`,
+					id, x, x, x+0.02, x+0.02)
+				if w := do(t, h, "POST", "/insert", body, nil); w.Code != http.StatusOK {
+					t.Errorf("insert %d: status %d", id, w.Code)
+					return
+				}
+				if i%3 == 0 {
+					if w := do(t, h, "POST", "/delete", body, nil); w.Code != http.StatusOK {
+						t.Errorf("delete %d: status %d", id, w.Code)
+						return
+					}
+				}
+			}
+		}(wr)
+	}
+	for rd := 0; rd < readers; rd++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < ops; i++ {
+				var win rangeResponse
+				do(t, h, "POST", "/query/window",
+					`{"rect":{"min_x":0,"min_y":0,"max_x":1,"max_y":1}}`, &win)
+				if win.Count != len(win.Results) && !win.Truncated {
+					t.Error("window count does not match results")
+					return
+				}
+				do(t, h, "POST", "/query/disk",
+					`{"center":{"x":0.5,"y":0.5},"radius":0.3,"count_only":true}`, nil)
+				do(t, h, "POST", "/query/knn", `{"center":{"x":0.5,"y":0.5},"k":3}`, nil)
+				do(t, h, "POST", "/query/batch",
+					`{"windows":[{"min_x":0,"min_y":0,"max_x":0.5,"max_y":0.5},
+					             {"min_x":0.5,"min_y":0.5,"max_x":1,"max_y":1}]}`, nil)
+				do(t, h, "GET", "/stats", "", nil)
+			}
+		}()
+	}
+	wg.Wait()
+
+	// All acks returned: the final snapshot holds exactly the objects
+	// whose insert was not followed by a delete (i%3 != 0).
+	want := 0
+	for i := 0; i < ops; i++ {
+		if i%3 != 0 {
+			want += writers
+		}
+	}
+	var win rangeResponse
+	do(t, h, "POST", "/query/window",
+		`{"rect":{"min_x":0,"min_y":0,"max_x":1,"max_y":1},"count_only":true}`, &win)
+	if win.Count != want {
+		t.Fatalf("final count %d, want %d", win.Count, want)
+	}
+	var st statsResponse
+	do(t, h, "GET", "/stats", "", &st)
+	if st.Live.PendingOps != 0 {
+		t.Fatalf("pending ops %d after quiescence, want 0", st.Live.PendingOps)
+	}
+}

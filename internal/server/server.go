@@ -3,12 +3,17 @@
 // kNN, and queries-based/tiles-based batches) over one shared in-memory
 // index, evaluated concurrently across requests.
 //
-// The index is built (or snapshot-loaded) once and never updated while
-// serving, which is what makes lock-free concurrent reads safe. Each
-// request queries through a private read view (Index.ReadView /
-// Index.Instrumented), so kNN scratch space and stats counters are
-// per-request; aggregated counters are published on GET /stats and
-// per-endpoint latency/error metrics on GET /metrics.
+// The server runs in one of two modes. In static mode the index is built
+// (or snapshot-loaded) once and never updated while serving, which is
+// what makes lock-free concurrent reads safe. In live mode (Config.Live)
+// the server fronts an updatable twolayer.Live: every query pins one
+// immutable copy-on-write snapshot — still a single atomic load, still no
+// locks on the read path — and mutation endpoints (POST /insert, /delete,
+// /bulk) feed the single-writer apply loop. In both modes each request
+// queries through a private read view (Index.ReadView /
+// Index.Instrumented or a pinned snapshot), so kNN scratch space and
+// stats counters are per-request; aggregated counters are published on
+// GET /stats and per-endpoint latency/error metrics on GET /metrics.
 //
 // See docs/SERVER.md for the full API reference and operator guide.
 package server
@@ -35,11 +40,17 @@ const (
 	shutdownGrace         = 10 * time.Second
 )
 
-// Config configures a Server.
+// Config configures a Server. Exactly one of Index and Live must be set.
 type Config struct {
-	// Index is the shared index all requests query. Required. It must not
-	// be updated while the server runs.
+	// Index is the shared index all requests query (static mode). It must
+	// not be updated while the server runs.
 	Index *twolayer.Index
+
+	// Live is an updatable index (live mode): queries pin per-request
+	// snapshots and the mutation endpoints POST /insert, /delete, and
+	// /bulk are mounted. The server does not close it; the owner should
+	// Close it after shutdown.
+	Live *twolayer.Live
 
 	// Logger receives structured request logs. Defaults to slog.Default().
 	Logger *slog.Logger
@@ -78,29 +89,35 @@ func (c Config) withDefaults() Config {
 // Server serves spatial queries over one shared two-layer index.
 type Server struct {
 	cfg     Config
-	idx     *twolayer.Index
+	idx     *twolayer.Index // static mode; nil in live mode
+	live    *twolayer.Live  // live mode; nil in static mode
 	metrics *Metrics
 	agg     *twolayer.AtomicStats
 	mux     *http.ServeMux
 }
 
-// New builds a Server from cfg. It panics if cfg.Index is nil (a
-// programming error, not a runtime condition).
+// New builds a Server from cfg. It panics unless exactly one of cfg.Index
+// and cfg.Live is set (a programming error, not a runtime condition).
 func New(cfg Config) *Server {
-	if cfg.Index == nil {
-		panic("server: Config.Index is required")
+	if (cfg.Index == nil) == (cfg.Live == nil) {
+		panic("server: exactly one of Config.Index and Config.Live is required")
 	}
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg: cfg,
-		idx: cfg.Index,
-		agg: &twolayer.AtomicStats{},
-		mux: http.NewServeMux(),
+		cfg:  cfg,
+		idx:  cfg.Index,
+		live: cfg.Live,
+		agg:  &twolayer.AtomicStats{},
+		mux:  http.NewServeMux(),
 	}
-	s.metrics = newMetrics([]string{
+	names := []string{
 		"query/window", "query/disk", "query/knn", "query/batch",
 		"stats", "healthz",
-	})
+	}
+	if s.live != nil {
+		names = append(names, "mutate/insert", "mutate/delete", "mutate/bulk")
+	}
+	s.metrics = newMetrics(names)
 	s.routes()
 	return s
 }
@@ -115,6 +132,18 @@ func (s *Server) routes() {
 	s.mux.Handle("POST /query/disk", query("query/disk", s.handleDisk))
 	s.mux.Handle("POST /query/knn", query("query/knn", s.handleKNN))
 	s.mux.Handle("POST /query/batch", query("query/batch", s.handleBatch))
+
+	if s.live != nil {
+		// Mutations skip withTimeout: a submission blocks until its batch
+		// is published, and canceling mid-apply cannot undo the accepted
+		// mutation — the ack must be reported to the client.
+		mutate := func(name string, h http.HandlerFunc) http.Handler {
+			return s.instrument(name, s.limitBody(h))
+		}
+		s.mux.Handle("POST /insert", mutate("mutate/insert", s.handleInsert))
+		s.mux.Handle("POST /delete", mutate("mutate/delete", s.handleDelete))
+		s.mux.Handle("POST /bulk", mutate("mutate/bulk", s.handleBulk))
+	}
 
 	s.mux.Handle("GET /stats", s.instrument("stats", http.HandlerFunc(s.handleStats)))
 	s.mux.Handle("GET /healthz", s.instrument("healthz", http.HandlerFunc(s.handleHealthz)))

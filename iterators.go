@@ -1,0 +1,56 @@
+package twolayer
+
+import (
+	"iter"
+
+	"github.com/twolayer/twolayer/internal/spatial"
+)
+
+// This file provides range-over-func iterator forms of the streaming
+// queries, so callers can write
+//
+//	for id, mbr := range idx.WindowAll(w) { ... }
+//
+// with early break supported. The iterators are thin adapters over the
+// callback forms (WindowUntil, DiskUntil, KNN) — same results, same
+// order, same cost; breaking out of the loop terminates the underlying
+// scan at tile granularity.
+
+// WindowAll returns an iterator over (id, mbr) of every object whose MBR
+// intersects w, each exactly once. Breaking out of the loop stops the
+// scan (tile-granular, like WindowUntil).
+func (ix *Index) WindowAll(w Rect) iter.Seq2[ID, Rect] {
+	return func(yield func(ID, Rect) bool) {
+		ix.core.WindowUntil(w, func(e spatial.Entry) bool { return yield(e.ID, e.Rect) })
+	}
+}
+
+// DiskAll returns an iterator over (id, mbr) of every object whose MBR
+// intersects the disk with the given center and radius, each exactly
+// once. Breaking out of the loop stops the scan.
+func (ix *Index) DiskAll(center Point, radius float64) iter.Seq2[ID, Rect] {
+	return func(yield func(ID, Rect) bool) {
+		ix.core.DiskUntil(center, radius, func(e spatial.Entry) bool { return yield(e.ID, e.Rect) })
+	}
+}
+
+// KNNAll returns an iterator over (id, distance) of the k objects whose
+// MBRs are nearest to q, ascending by distance. The underlying search
+// runs up front (kNN has no streaming evaluation); like KNN it requires
+// external synchronization or a per-goroutine ReadView.
+func (ix *Index) KNNAll(q Point, k int) iter.Seq2[ID, float64] {
+	return func(yield func(ID, float64) bool) {
+		for _, n := range ix.core.KNN(q, k) {
+			if !yield(n.ID, n.Dist) {
+				return
+			}
+		}
+	}
+}
+
+// DiskUntil streams disk-query results until fn returns false, reporting
+// whether the query ran to completion. Termination is tile-granular, like
+// WindowUntil.
+func (ix *Index) DiskUntil(center Point, radius float64, fn func(id ID, mbr Rect) bool) bool {
+	return ix.core.DiskUntil(center, radius, func(e spatial.Entry) bool { return fn(e.ID, e.Rect) })
+}

@@ -29,6 +29,7 @@
 package twolayer
 
 import (
+	"fmt"
 	"io"
 
 	"github.com/twolayer/twolayer/internal/core"
@@ -116,6 +117,16 @@ type Options struct {
 	Decompose bool
 }
 
+// Validate reports why the options cannot build an index, or nil.
+// BuildRects, BuildGeoms, and New panic on invalid options; the Err build
+// variants and NewLive validate first and return the error instead.
+func (o Options) Validate() error {
+	if o.GridSize < 0 {
+		return fmt.Errorf("twolayer: negative GridSize %d", o.GridSize)
+	}
+	return o.toCore().Validate()
+}
+
 func (o Options) toCore() core.Options {
 	nx, ny := o.NX, o.NY
 	if nx == 0 {
@@ -131,7 +142,9 @@ func (o Options) toCore() core.Options {
 // concurrent readers; updates, kNN search, and EnableStats collection
 // require external synchronization. On a static index, ReadView and
 // Instrumented lift the kNN and stats restrictions by giving each
-// goroutine its own cheap read view.
+// goroutine its own cheap read view. For concurrent readers AND
+// writers, wrap the index in a Live handle (NewLive, LiveFrom): readers
+// then pin immutable copy-on-write snapshots instead of locking.
 type Index struct {
 	core    *core.Index
 	dataset *spatial.Dataset
@@ -150,6 +163,34 @@ func BuildGeoms(geoms []Geometry, opts Options) *Index {
 	return &Index{core: core.Build(d, opts.autoTuned(d.Len())), dataset: d}
 }
 
+// BuildRectsErr is the error-returning variant of BuildRects: invalid
+// options or data (NaN or inverted rectangles, a degenerate bounding box
+// with no explicit Space) produce an error instead of a panic.
+func BuildRectsErr(rects []Rect, opts Options) (*Index, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	d := spatial.NewDataset(rects)
+	inner, err := core.BuildErr(d, opts.autoTuned(d.Len()))
+	if err != nil {
+		return nil, err
+	}
+	return &Index{core: inner, dataset: d}, nil
+}
+
+// BuildGeomsErr is the error-returning variant of BuildGeoms.
+func BuildGeomsErr(geoms []Geometry, opts Options) (*Index, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	d := spatial.NewGeomDataset(geoms)
+	inner, err := core.BuildErr(d, opts.autoTuned(d.Len()))
+	if err != nil {
+		return nil, err
+	}
+	return &Index{core: inner, dataset: d}, nil
+}
+
 // autoTuned fills in a data-driven grid size when none was requested.
 func (o Options) autoTuned(n int) core.Options {
 	if o.GridSize == 0 && o.NX == 0 && o.NY == 0 {
@@ -166,6 +207,11 @@ func New(opts Options) *Index {
 
 // Len returns the number of objects in the index.
 func (ix *Index) Len() int { return ix.core.Len() }
+
+// Epoch returns the snapshot epoch of the index: 0 for a directly built
+// index, and the strictly increasing publish sequence number for
+// snapshots obtained from Live.Snapshot.
+func (ix *Index) Epoch() uint64 { return ix.core.Epoch() }
 
 // Window invokes fn exactly once for each object whose MBR intersects w.
 // This is the filtering step: results are candidates by MBR; use
@@ -281,6 +327,28 @@ func (ix *Index) Join(other *Index, fn func(rID, sID ID)) {
 	ix.core.Join(other.core, func(r, s spatial.Entry) { fn(r.ID, s.ID) })
 }
 
+// Join precondition errors, returned by JoinErr and JoinParallelErr (and
+// carried by the panics of Join and JoinParallel).
+var (
+	// ErrGridMismatch means the two indices were built over different
+	// grid geometries (tile counts or space).
+	ErrGridMismatch = core.ErrGridMismatch
+	// ErrSelfJoin means both join operands are the same Index instance;
+	// build a second index over the same data instead.
+	ErrSelfJoin = core.ErrSelfJoin
+)
+
+// JoinErr is the error-returning variant of Join: incompatible grids or a
+// self-join are reported as an error (ErrGridMismatch, ErrSelfJoin)
+// instead of a panic.
+func (ix *Index) JoinErr(other *Index, fn func(rID, sID ID)) error {
+	if err := core.Joinable(ix.core, other.core); err != nil {
+		return err
+	}
+	ix.core.Join(other.core, func(r, s spatial.Entry) { fn(r.ID, s.ID) })
+	return nil
+}
+
 // JoinCount returns the number of intersecting pairs between the two
 // indices.
 func (ix *Index) JoinCount(other *Index) int { return ix.core.JoinCount(other.core) }
@@ -296,6 +364,16 @@ func (ix *Index) WindowParallel(w Rect, threads int, fn func(id ID, mbr Rect)) {
 // threads; fn must be safe for concurrent use.
 func (ix *Index) JoinParallel(other *Index, threads int, fn func(rID, sID ID)) {
 	ix.core.JoinParallel(other.core, threads, func(r, s spatial.Entry) { fn(r.ID, s.ID) })
+}
+
+// JoinParallelErr is the error-returning variant of JoinParallel (see
+// JoinErr); fn must be safe for concurrent use.
+func (ix *Index) JoinParallelErr(other *Index, threads int, fn func(rID, sID ID)) error {
+	if err := core.Joinable(ix.core, other.core); err != nil {
+		return err
+	}
+	ix.core.JoinParallel(other.core, threads, func(r, s spatial.Entry) { fn(r.ID, s.ID) })
+	return nil
 }
 
 // EstimateWindow predicts the result cardinality of a window query from
@@ -332,7 +410,11 @@ func Load(r io.Reader) (*Index, error) {
 
 // EnableStats attaches a counter set that queries will update (exclusive
 // mode). Queries become single-threaded while stats are enabled. Returns
-// the live Stats. For stats on concurrent queries use Instrumented.
+// the live Stats.
+//
+// Deprecated: exclusive-mode stats serialize all queries on the index.
+// Use Instrumented for a per-goroutine counting view, and merge finished
+// views into a shared AtomicStats with its Observe method.
 func (ix *Index) EnableStats() *Stats {
 	s := &Stats{}
 	ix.core.Stats = s
@@ -340,6 +422,8 @@ func (ix *Index) EnableStats() *Stats {
 }
 
 // DisableStats detaches the counter set.
+//
+// Deprecated: see EnableStats; Instrumented views need no detach step.
 func (ix *Index) DisableStats() { ix.core.Stats = nil }
 
 // ReadView returns a shallow read view of the index with private kNN
@@ -371,6 +455,10 @@ func (ix *Index) GridDims() (nx, ny int) {
 	g := ix.core.Grid()
 	return g.NX, g.NY
 }
+
+// Space returns the indexed region (the extent the primary grid covers).
+// Two indices are join-compatible when they share GridDims and Space.
+func (ix *Index) Space() Rect { return ix.core.Grid().Space }
 
 // ReplicationFactor reports stored entries (with replicas) per object.
 func (ix *Index) ReplicationFactor() float64 { return ix.core.ReplicationFactor() }
