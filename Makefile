@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check build fmt-check vet test test-race race-hot bench experiments
+.PHONY: check build fmt-check vet test test-race race-hot bench bench-json fuzz-short experiments
 
 check: build fmt-check vet test-race
 
@@ -34,6 +34,26 @@ race-hot:
 
 bench:
 	$(GO) test -bench=. -benchmem
+
+# The core window/disk/live benchmarks as a committed JSON report:
+# writes the next BENCH_<n>.json so runs across revisions sit side by
+# side and diff cleanly (see cmd/benchjson).
+BENCH_JSON_PATTERN ?= BenchmarkTable5Window|BenchmarkDiskQueries|BenchmarkLiveApply
+BENCH_JSON_TIME ?= 0.2s
+
+bench-json:
+	$(GO) build -o /tmp/benchjson ./cmd/benchjson
+	$(GO) test -run '^$$' -bench '$(BENCH_JSON_PATTERN)' -benchmem \
+		-benchtime $(BENCH_JSON_TIME) . | /tmp/benchjson
+
+# Short fuzz pass over every fuzz target (CI runs this): seconds per
+# target, catching format-level regressions without a long campaign.
+FUZZTIME ?= 10s
+
+fuzz-short:
+	$(GO) test -run '^$$' -fuzz '^FuzzWindow$$' -fuzztime $(FUZZTIME) ./internal/core
+	$(GO) test -run '^$$' -fuzz '^FuzzSnapshotDecode$$' -fuzztime $(FUZZTIME) ./internal/core
+	$(GO) test -run '^$$' -fuzz '^FuzzWALReplay$$' -fuzztime $(FUZZTIME) ./internal/wal
 
 experiments:
 	$(GO) run ./cmd/experiments -exp all

@@ -6,10 +6,13 @@
 package twolayer_test
 
 import (
+	"io"
+	"log/slog"
 	"math"
 	"sync"
 	"testing"
 
+	twolayer "github.com/twolayer/twolayer"
 	"github.com/twolayer/twolayer/internal/block"
 	"github.com/twolayer/twolayer/internal/core"
 	"github.com/twolayer/twolayer/internal/datagen"
@@ -531,6 +534,64 @@ func BenchmarkRegionQuery(b *testing.B) {
 
 func cos(a float64) float64 { return math.Cos(a) }
 func sin(a float64) float64 { return math.Sin(a) }
+
+// BenchmarkLiveApply: per-mutation cost through the single-writer apply
+// loop — one Insert call is submit, batch, copy-on-write apply, and
+// publish. The durable variants add write-ahead journaling: fsync=none
+// leaves flushing to the OS, fsync=interval (the server default) fsyncs
+// in the background, and fsync=always pays one fsync per acknowledged
+// batch.
+func BenchmarkLiveApply(b *testing.B) {
+	benchData()
+	opts := twolayer.Options{
+		GridSize: benchGrid,
+		Space:    benchRoads.MBR(),
+	}
+	entries := benchRoads.Entries
+
+	run := func(b *testing.B, lv *twolayer.Live) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e := entries[i%len(entries)]
+			if _, err := lv.Insert(e.ID, e.Rect); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+
+	b.Run("live", func(b *testing.B) {
+		lv, err := twolayer.NewLive(opts, twolayer.LiveOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer lv.Close()
+		run(b, lv)
+	})
+	for _, v := range []struct {
+		name   string
+		policy twolayer.SyncPolicy
+	}{
+		{"durable/fsync=none", twolayer.SyncNone},
+		{"durable/fsync=interval", twolayer.SyncInterval},
+		{"durable/fsync=always", twolayer.SyncAlways},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			dl, _, err := twolayer.OpenDurable(opts, twolayer.LiveOptions{},
+				twolayer.DurableOptions{
+					Dir:             b.TempDir(),
+					Fsync:           v.policy,
+					CheckpointEvery: -1, // measure journaling, not checkpoints
+					Logger:          slog.New(slog.NewTextHandler(io.Discard, nil)),
+				})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer dl.Close()
+			run(b, dl.Live())
+		})
+	}
+}
 
 // BenchmarkDiskQueries: disk query cost of the main methods (Figure 8's
 // right columns).

@@ -1,0 +1,179 @@
+// Command benchjson converts `go test -bench -benchmem` output on stdin
+// into a machine-readable JSON report, so benchmark runs can be committed
+// and diffed across revisions (the `make bench-json` target).
+//
+// Usage:
+//
+//	go test -run '^$' -bench 'Window|Disk|LiveApply' -benchmem . | benchjson -o BENCH_1.json
+//	go test -bench . -benchmem . | benchjson            # auto-names BENCH_<n>.json
+//
+// With -o "" (the default) the output file is BENCH_<n>.json in -dir,
+// where n is one past the highest existing BENCH_<n>.json — so each run
+// lands next to the previous ones without clobbering them. The raw
+// benchmark lines are echoed to stderr as they are consumed, keeping the
+// usual progress output visible through the pipe. benchjson fails if the
+// stream contains no benchmark results or reports a test failure, so a
+// broken bench run cannot silently produce an empty report.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// result is one parsed benchmark line.
+type result struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  *int64             `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *int64             `json:"allocs_per_op,omitempty"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
+}
+
+// report is the full JSON document.
+type report struct {
+	Generated  string   `json:"generated"`
+	GoOS       string   `json:"goos,omitempty"`
+	GoArch     string   `json:"goarch,omitempty"`
+	Package    string   `json:"pkg,omitempty"`
+	CPU        string   `json:"cpu,omitempty"`
+	Benchmarks []result `json:"benchmarks"`
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}
+
+// nextName returns BENCH_<n>.json for the smallest n past every existing
+// report in dir.
+func nextName(dir string) (string, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return "", err
+	}
+	max := 0
+	for _, m := range matches {
+		base := filepath.Base(m)
+		num := strings.TrimSuffix(strings.TrimPrefix(base, "BENCH_"), ".json")
+		if n, err := strconv.Atoi(num); err == nil && n > max {
+			max = n
+		}
+	}
+	return filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", max+1)), nil
+}
+
+// parseLine parses one "BenchmarkX-8  N  1234 ns/op  ..." line, reporting
+// ok=false for anything that is not a benchmark result.
+func parseLine(line string) (result, bool) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return result{}, false
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return result{}, false
+	}
+	r := result{Iterations: iters}
+	// Strip the -<GOMAXPROCS> suffix the testing package appends.
+	r.Name = fields[0]
+	if i := strings.LastIndex(r.Name, "-"); i > 0 {
+		if _, err := strconv.Atoi(r.Name[i+1:]); err == nil {
+			r.Name = r.Name[:i]
+		}
+	}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return result{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			r.NsPerOp = v
+		case "B/op":
+			n := int64(v)
+			r.BytesPerOp = &n
+		case "allocs/op":
+			n := int64(v)
+			r.AllocsPerOp = &n
+		default:
+			if r.Extra == nil {
+				r.Extra = make(map[string]float64)
+			}
+			r.Extra[unit] = v
+		}
+	}
+	if r.NsPerOp == 0 && r.Extra == nil {
+		return result{}, false
+	}
+	return r, true
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default: next BENCH_<n>.json in -dir)")
+	dir := flag.String("dir", ".", "directory scanned for existing BENCH_<n>.json reports")
+	flag.Parse()
+
+	rep := report{Generated: time.Now().UTC().Format(time.RFC3339)}
+	failed := false
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Fprintln(os.Stderr, line)
+		if r, ok := parseLine(line); ok {
+			rep.Benchmarks = append(rep.Benchmarks, r)
+			continue
+		}
+		switch key, val, found := strings.Cut(line, ": "); {
+		case !found:
+			if line == "FAIL" || strings.HasPrefix(line, "FAIL\t") {
+				failed = true
+			}
+		case key == "goos":
+			rep.GoOS = val
+		case key == "goarch":
+			rep.GoArch = val
+		case key == "pkg":
+			rep.Package = val
+		case key == "cpu":
+			rep.CPU = val
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fail(err)
+	}
+	if failed {
+		fail(fmt.Errorf("benchmark run reported FAIL"))
+	}
+	if len(rep.Benchmarks) == 0 {
+		fail(fmt.Errorf("no benchmark results on stdin"))
+	}
+
+	path := *out
+	if path == "" {
+		var err error
+		if path, err = nextName(*dir); err != nil {
+			fail(err)
+		}
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fail(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d results to %s\n", len(rep.Benchmarks), path)
+}

@@ -1,12 +1,16 @@
-// Command spatialquery loads a dataset file, builds a two-layer index and
-// answers window or disk queries from the command line or from a query
-// file, printing result counts and timings.
+// Command spatialquery loads a dataset file (building a two-layer index)
+// or a binary index snapshot, and answers window or disk queries from the
+// command line or from a query file, printing result counts and timings.
 //
 // Usage:
 //
 //	spatialquery -data roads.csv -window 0.4,0.4,0.45,0.45
 //	spatialquery -data roads.csv -disk 0.5,0.5,0.01 -exact
 //	spatialquery -data roads.csv -queryfile q.csv -grid 1024
+//	spatialquery -snapshot roads.idx -window 0.4,0.4,0.45,0.45
+//
+// Snapshots (written by Index.Save, spatialserver -save, or a durability
+// checkpoint) carry MBRs only, so -exact requires -data.
 package main
 
 import (
@@ -48,6 +52,7 @@ func parseFloats(s string, n int) ([]float64, error) {
 
 func main() {
 	dataPath := flag.String("data", "", "dataset file (dataio format)")
+	snapshotPath := flag.String("snapshot", "", "binary index snapshot to load instead of -data (MBR queries only)")
 	gridSize := flag.Int("grid", 1024, "grid tiles per dimension")
 	decompose := flag.Bool("decompose", true, "build 2-layer+ decomposed tables")
 	window := flag.String("window", "", "one window query: minx,miny,maxx,maxy")
@@ -57,38 +62,59 @@ func main() {
 	exact := flag.Bool("exact", false, "run exact-geometry queries (refinement)")
 	flag.Parse()
 
-	if *dataPath == "" {
-		fail(fmt.Errorf("-data is required"))
-	}
-	f, err := os.Open(*dataPath)
-	if err != nil {
-		fail(err)
-	}
-	var d *spatialDataset
-	if strings.HasSuffix(*dataPath, ".wkt") {
-		ds, err2 := dataio.ReadWKT(f)
-		f.Close()
-		if err2 != nil {
-			fail(err2)
+	var idx *twolayer.Index
+	switch {
+	case *dataPath != "" && *snapshotPath != "":
+		fail(fmt.Errorf("-data and -snapshot are mutually exclusive"))
+	case *snapshotPath != "":
+		if *exact {
+			fail(fmt.Errorf("-exact requires -data: snapshots carry MBRs, not exact geometries"))
 		}
-		d = ds
-	} else {
-		ds, err2 := dataio.ReadDataset(f)
-		f.Close()
-		if err2 != nil {
-			fail(err2)
+		f, err := os.Open(*snapshotPath)
+		if err != nil {
+			fail(err)
 		}
-		d = ds
+		start := time.Now()
+		loaded, err := twolayer.Load(f)
+		f.Close()
+		if err != nil {
+			fail(fmt.Errorf("%s: %w", *snapshotPath, err))
+		}
+		idx = loaded
+		fmt.Printf("loaded snapshot of %d objects in %v (replication %.3f)\n",
+			idx.Len(), time.Since(start).Round(time.Millisecond), idx.ReplicationFactor())
+	case *dataPath != "":
+		f, err := os.Open(*dataPath)
+		if err != nil {
+			fail(err)
+		}
+		var d *spatialDataset
+		if strings.HasSuffix(*dataPath, ".wkt") {
+			ds, err2 := dataio.ReadWKT(f)
+			f.Close()
+			if err2 != nil {
+				fail(err2)
+			}
+			d = ds
+		} else {
+			ds, err2 := dataio.ReadDataset(f)
+			f.Close()
+			if err2 != nil {
+				fail(err2)
+			}
+			d = ds
+		}
+		geoms := make([]twolayer.Geometry, d.Len())
+		for i := range geoms {
+			geoms[i] = d.Geom(uint32(i))
+		}
+		start := time.Now()
+		idx = twolayer.BuildGeoms(geoms, twolayer.Options{GridSize: *gridSize, Decompose: *decompose})
+		fmt.Printf("indexed %d objects in %v (replication %.3f)\n",
+			idx.Len(), time.Since(start).Round(time.Millisecond), idx.ReplicationFactor())
+	default:
+		fail(fmt.Errorf("one of -data or -snapshot is required"))
 	}
-
-	geoms := make([]twolayer.Geometry, d.Len())
-	for i := range geoms {
-		geoms[i] = d.Geom(uint32(i))
-	}
-	start := time.Now()
-	idx := twolayer.BuildGeoms(geoms, twolayer.Options{GridSize: *gridSize, Decompose: *decompose})
-	fmt.Printf("indexed %d objects in %v (replication %.3f)\n",
-		idx.Len(), time.Since(start).Round(time.Millisecond), idx.ReplicationFactor())
 
 	runWindow := func(w twolayer.Rect) {
 		start := time.Now()

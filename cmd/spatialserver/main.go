@@ -13,8 +13,14 @@
 //	spatialserver -data roads.wkt -grid 1024 -save roads.idx
 //	spatialserver -snapshot roads.idx -pprof
 //	spatialserver -snapshot roads.idx -live -rebuild-every 4096
+//	spatialserver -data roads.csv -data-dir /var/lib/spatial -fsync always
+//	spatialserver -data-dir /var/lib/spatial   # recover and keep serving
 //
-// See docs/SERVER.md for the API reference and operations guide.
+// With -data-dir the server runs durably: mutations are written ahead to
+// a segmented log before they are acknowledged, checkpoints are taken in
+// the background (and on POST /checkpoint), and startup recovers the
+// acknowledged state — tolerating a torn log tail from a crash. See
+// docs/DURABILITY.md for the engine and docs/SERVER.md for the API.
 package main
 
 import (
@@ -113,6 +119,11 @@ func main() {
 	stats := flag.Bool("stats", true, "aggregate per-query core counters for GET /stats")
 	live := flag.Bool("live", false, "serve in live mode: accept updates on POST /insert, /delete, /bulk (disables exact-geometry queries)")
 	rebuildEvery := flag.Int("rebuild-every", 0, "live mode: re-run the decomposed build after this many mutations (0 = default, negative = never)")
+	dataDir := flag.String("data-dir", "", "durable live mode: directory for the write-ahead log and checkpoints; implies -live, recovers automatically on startup")
+	fsync := flag.String("fsync", "interval", `durable mode fsync policy: "always", "interval", or "none"`)
+	fsyncInterval := flag.Duration("fsync-interval", 100*time.Millisecond, "durable mode: background fsync period under -fsync=interval")
+	checkpointEvery := flag.Int("checkpoint-every", 0, "durable mode: automatic checkpoint after this many mutations (0 = default 65536, negative = never)")
+	segmentBytes := flag.Int64("segment-bytes", 0, "durable mode: log segment rotation threshold in bytes (0 = default 8 MiB)")
 	pprofFlag := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
 	flag.Parse()
@@ -123,7 +134,13 @@ func main() {
 	}
 	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
-	idx := loadIndex(*dataPath, *snapshotPath, *gridSize, *decompose, logger)
+	durable := *dataDir != ""
+	var idx *twolayer.Index
+	if !durable || *dataPath != "" || *snapshotPath != "" {
+		// In durable mode a data source is only a seed for an empty
+		// -data-dir; a dir with prior state recovers instead.
+		idx = loadIndex(*dataPath, *snapshotPath, *gridSize, *decompose, logger)
+	}
 	if *savePath != "" {
 		if *dataPath == "" {
 			fail(fmt.Errorf("-save requires -data"))
@@ -149,12 +166,46 @@ func main() {
 		CollectStats:   *stats,
 		EnablePprof:    *pprofFlag,
 	}
-	if *live {
+	switch {
+	case durable:
+		policy, err := twolayer.ParseSyncPolicy(*fsync)
+		if err != nil {
+			fail(err)
+		}
+		dl, info, err := twolayer.OpenDurable(
+			twolayer.Options{GridSize: *gridSize, Decompose: *decompose},
+			twolayer.LiveOptions{RebuildEvery: *rebuildEvery},
+			twolayer.DurableOptions{
+				Dir:             *dataDir,
+				Fsync:           policy,
+				FsyncInterval:   *fsyncInterval,
+				CheckpointEvery: *checkpointEvery,
+				SegmentBytes:    *segmentBytes,
+				Seed:            idx,
+				Logger:          logger,
+			})
+		if err != nil {
+			if idx == nil {
+				err = fmt.Errorf("%w (a fresh -data-dir needs -data or -snapshot to seed it)", err)
+			}
+			fail(err)
+		}
+		defer dl.Close()
+		cfg.Durable = dl
+		logger.Info("durable live mode",
+			"dir", *dataDir,
+			"fsync", policy.String(),
+			"objects", dl.Snapshot().Len(),
+			"recovered_epoch", info.Epoch,
+			"checkpoint_loaded", info.CheckpointLoaded,
+			"replayed_records", info.ReplayedRecords,
+			"truncated_tail", info.TruncatedTail)
+	case *live:
 		lv := twolayer.LiveFrom(idx, twolayer.LiveOptions{RebuildEvery: *rebuildEvery})
 		defer lv.Close()
 		cfg.Live = lv
 		logger.Info("live mode", "rebuild_every", *rebuildEvery)
-	} else {
+	default:
 		if *rebuildEvery != 0 {
 			fail(fmt.Errorf("-rebuild-every requires -live"))
 		}

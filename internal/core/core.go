@@ -198,6 +198,15 @@ func (ix *Index) View(s *Stats) *Index {
 // for snapshots obtained from a Live index.
 func (ix *Index) Epoch() uint64 { return ix.epoch }
 
+// SetEpoch overrides the copy-on-write generation. It exists for crash
+// recovery (internal/wal): after replaying write-ahead-log batches onto a
+// checkpoint-loaded index, the index's epoch must equal the epoch of the
+// last replayed batch so that new publishes continue the logged sequence
+// instead of reusing epochs already on disk. Raising the epoch is always
+// safe (tiles cloned lazily on the next mutation); it must not be called
+// on an index shared with concurrent readers.
+func (ix *Index) SetEpoch(e uint64) { ix.epoch = e }
+
 // CloneCOW returns a writable copy of the index for the next epoch, while
 // ix remains a consistent immutable snapshot that concurrent readers may
 // keep querying. The copy shares all entry storage (class slices and

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"math"
 	"math/rand"
 	"testing"
@@ -64,5 +65,50 @@ func FuzzWindow(f *testing.F) {
 				t.Fatalf("circumscribed disk found %d < window's %d", nd, len(want))
 			}
 		}
+	})
+}
+
+// FuzzSnapshotDecode: Load must treat arbitrary bytes as a hostile
+// snapshot — returning an error for anything malformed, never panicking
+// or over-allocating. A successfully decoded index must answer a window
+// query without crashing. Run with
+// `go test -fuzz=FuzzSnapshotDecode ./internal/core`.
+func FuzzSnapshotDecode(f *testing.F) {
+	// Seed with real snapshots (v1 and v2) so the fuzzer starts from
+	// structurally valid bytes and mutates inward. Seeds are kept tiny:
+	// the engine's per-exec overhead grows sharply with corpus entry
+	// size, and a few hundred bytes already cover every format feature.
+	rnd := rand.New(rand.NewSource(99))
+	ix, _ := buildRandom(rnd, 6, 0.2, Options{NX: 2, NY: 2, Decompose: true})
+	ix.SetEpoch(3)
+	var v2, v1 bytes.Buffer
+	if _, err := ix.WriteTo(&v2); err != nil {
+		f.Fatal(err)
+	}
+	if _, err := ix.writeVersion(&v1, 1); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(v2.Bytes())
+	f.Add(v1.Bytes())
+	f.Add([]byte("TL2I"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<20 {
+			t.Skip()
+		}
+		loaded, err := Load(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Whatever decoded must be internally consistent enough to query.
+		// Skip the query for huge grids: a whole-space window legitimately
+		// visits every covered tile, which is O(nx*ny) and would stall the
+		// fuzzer without exercising anything new.
+		if g := loaded.Grid(); g.NX*g.NY <= 1<<16 {
+			q := geom.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}
+			_ = loaded.WindowCount(q)
+		}
+		_ = loaded.Len()
 	})
 }

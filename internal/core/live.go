@@ -51,6 +51,15 @@ type LiveOptions struct {
 	// binary-search path for tiles dirtied by updates. 0 means the
 	// default of 4096; negative disables rebuilding.
 	RebuildEvery int
+	// Journal, when non-nil, is called from the apply loop with every
+	// batch before it is applied or published: epoch is the epoch the
+	// batch will publish as, muts the batch in application order. This is
+	// the write-ahead hook — a durability layer (internal/wal) appends
+	// and optionally fsyncs the batch here, so a batch is on disk before
+	// any submitter is acked. A non-nil error aborts the batch: nothing
+	// is applied, the snapshot does not advance, and every submitter in
+	// the batch receives the error.
+	Journal func(epoch uint64, muts []Mutation) error
 }
 
 func (o LiveOptions) withDefaults() LiveOptions {
@@ -276,9 +285,26 @@ func (l *Live) run() {
 }
 
 // publish applies one batch to a clone of the current snapshot and makes
-// the clone the next epoch.
+// the clone the next epoch. With a Journal configured, the batch is
+// journaled first (write-ahead): only after the journal accepts it — i.e.
+// the batch is durable under the journal's sync policy — is it applied
+// and published, and only then are submitters acked.
 func (l *Live) publish(batch []applyReq, n int, rebuild bool) {
 	start := time.Now()
+	if l.opt.Journal != nil {
+		muts := make([]Mutation, 0, n)
+		for _, req := range batch {
+			muts = append(muts, req.muts...)
+		}
+		if err := l.opt.Journal(l.Snapshot().epoch+1, muts); err != nil {
+			err = fmt.Errorf("core: journaling batch: %w", err)
+			l.pending.Add(-int64(n))
+			for _, req := range batch {
+				req.done <- applyAck{err: err}
+			}
+			return
+		}
+	}
 	next := l.Snapshot().CloneCOW()
 	found := make([][]bool, len(batch))
 	for bi, req := range batch {

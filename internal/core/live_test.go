@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"github.com/twolayer/twolayer/internal/geom"
@@ -277,5 +278,85 @@ func TestDiskUntil(t *testing.T) {
 	}
 	if seen >= total {
 		t.Fatalf("early stop scanned all %d results", seen)
+	}
+}
+
+// TestLiveJournal: the Journal hook sees every batch, in order, with the
+// epoch the batch publishes as; a journal error rejects the whole batch
+// with nothing applied, and later batches proceed normally.
+func TestLiveJournal(t *testing.T) {
+	type logged struct {
+		epoch uint64
+		muts  []Mutation
+	}
+	var (
+		mu      sync.Mutex
+		journal []logged
+		failNow bool
+	)
+	errInject := errors.New("disk full")
+	l := NewLive(New(Options{NX: 8, NY: 8, Space: unitSquare}), LiveOptions{
+		Journal: func(epoch uint64, muts []Mutation) error {
+			mu.Lock()
+			defer mu.Unlock()
+			if failNow {
+				return errInject
+			}
+			cp := make([]Mutation, len(muts))
+			copy(cp, muts)
+			journal = append(journal, logged{epoch, cp})
+			return nil
+		},
+	})
+	defer l.Close()
+
+	r := geom.Rect{MinX: 0.1, MinY: 0.1, MaxX: 0.2, MaxY: 0.2}
+	epoch1, err := l.Insert(spatial.Entry{ID: 1, Rect: r})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Apply([]Mutation{
+		{Entry: spatial.Entry{ID: 2, Rect: r}},
+		{Delete: true, Entry: spatial.Entry{ID: 1, Rect: r}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	mu.Lock()
+	if len(journal) != 2 {
+		t.Fatalf("journal has %d batches, want 2", len(journal))
+	}
+	if journal[0].epoch != epoch1 {
+		t.Fatalf("journal epoch %d, ack epoch %d", journal[0].epoch, epoch1)
+	}
+	if journal[1].epoch != epoch1+1 {
+		t.Fatalf("second batch epoch %d, want %d", journal[1].epoch, epoch1+1)
+	}
+	if len(journal[1].muts) != 2 || !journal[1].muts[1].Delete {
+		t.Fatalf("second batch muts = %+v", journal[1].muts)
+	}
+	failNow = true
+	mu.Unlock()
+
+	// A failing journal rejects the batch: nothing applied, epoch frozen.
+	before := l.Snapshot()
+	if _, err := l.Insert(spatial.Entry{ID: 3, Rect: r}); !errors.Is(err, errInject) {
+		t.Fatalf("err = %v, want wrapped %v", err, errInject)
+	}
+	after := l.Snapshot()
+	if after.Epoch() != before.Epoch() || after.Len() != before.Len() {
+		t.Fatalf("rejected batch changed snapshot: epoch %d->%d len %d->%d",
+			before.Epoch(), after.Epoch(), before.Len(), after.Len())
+	}
+
+	// Recovery: once the journal accepts writes again, mutations flow.
+	mu.Lock()
+	failNow = false
+	mu.Unlock()
+	if _, err := l.Insert(spatial.Entry{ID: 4, Rect: r}); err != nil {
+		t.Fatal(err)
+	}
+	if l.Snapshot().Len() != 2 { // IDs 2 and 4
+		t.Fatalf("Len = %d, want 2", l.Snapshot().Len())
 	}
 }

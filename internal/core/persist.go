@@ -24,12 +24,18 @@ import (
 //
 //	magic "TL2I" | version u32
 //	nx u32 | ny u32 | space 4xf64 | flags u32 | size u64
+//	[v2+] epoch u64
 //	tileCount u64
 //	per tile: tileID u32 | 4x class length u32 | entries (id u32, 4xf64)
+//
+// Version history: v1 has no epoch field (loaded indices start at epoch
+// 0); v2 carries the copy-on-write epoch of the snapshot so a checkpoint
+// of a Live index records its exact log position (see internal/wal).
+// WriteTo always emits the current version; Load accepts both.
 
 const (
 	persistMagic   = "TL2I"
-	persistVersion = 1
+	persistVersion = 2
 
 	flagDecompose = 1 << 0
 )
@@ -37,6 +43,13 @@ const (
 // WriteTo serializes the index structure. It returns the number of bytes
 // written.
 func (ix *Index) WriteTo(w io.Writer) (int64, error) {
+	return ix.writeVersion(w, persistVersion)
+}
+
+// writeVersion emits the snapshot in the given format version. Only the
+// current version is written in production; older versions remain
+// writable so the cross-version tests exercise real v1 bytes.
+func (ix *Index) writeVersion(w io.Writer, version uint32) (int64, error) {
 	bw := bufio.NewWriter(w)
 	cw := &countWriter{w: bw}
 
@@ -45,15 +58,19 @@ func (ix *Index) WriteTo(w io.Writer) (int64, error) {
 	if _, err := cw.Write([]byte(persistMagic)); err != nil {
 		return cw.n, err
 	}
-	if err := write(uint32(persistVersion)); err != nil {
+	if err := write(version); err != nil {
 		return cw.n, err
 	}
 	sp := ix.opts.Space
 	hdr := []any{
 		uint32(ix.g.NX), uint32(ix.g.NY),
 		sp.MinX, sp.MinY, sp.MaxX, sp.MaxY,
-		ix.flags(), uint64(ix.size), uint64(len(ix.tiles)),
+		ix.flags(), uint64(ix.size),
 	}
+	if version >= 2 {
+		hdr = append(hdr, ix.epoch)
+	}
+	hdr = append(hdr, uint64(len(ix.tiles)))
 	for _, v := range hdr {
 		if err := write(v); err != nil {
 			return cw.n, err
@@ -123,15 +140,20 @@ func Load(r io.Reader) (*Index, error) {
 	if err := read(&version); err != nil {
 		return nil, err
 	}
-	if version != persistVersion {
+	if version < 1 || version > persistVersion {
 		return nil, fmt.Errorf("core: unsupported snapshot version %d", version)
 	}
 
 	var nx, ny, flags uint32
-	var size, tileCount uint64
+	var size, epoch, tileCount uint64
 	var space geom.Rect
-	for _, v := range []any{&nx, &ny, &space.MinX, &space.MinY, &space.MaxX, &space.MaxY,
-		&flags, &size, &tileCount} {
+	fields := []any{&nx, &ny, &space.MinX, &space.MinY, &space.MaxX, &space.MaxY,
+		&flags, &size}
+	if version >= 2 {
+		fields = append(fields, &epoch)
+	}
+	fields = append(fields, &tileCount)
+	for _, v := range fields {
 		if err := read(v); err != nil {
 			return nil, fmt.Errorf("core: reading snapshot header: %w", err)
 		}
@@ -146,11 +168,21 @@ func Load(r io.Reader) (*Index, error) {
 		return nil, fmt.Errorf("core: %d tiles for a %dx%d grid", tileCount, nx, ny)
 	}
 
+	// Decode through the sparse directory regardless of grid size: a
+	// dense directory is O(nx*ny) to allocate, which a corrupt header
+	// could demand before a single tile byte has been validated. The
+	// directory is densified below once the whole snapshot decoded.
 	ix := New(Options{NX: int(nx), NY: int(ny), Space: space,
-		Decompose: flags&flagDecompose != 0})
+		Decompose: flags&flagDecompose != 0, SparseDirectory: true})
+	ix.opts.SparseDirectory = false // restore the default directory policy
 	ix.size = int(size)
-	ix.tiles = make([]tile, tileCount)
-	ix.tileIDs = make([]int32, tileCount)
+	ix.epoch = epoch
+	// Claimed counts are untrusted until the bytes backing them have
+	// actually been read: preallocations are capped so a corrupt header
+	// cannot demand gigabytes before the decoder hits EOF.
+	const preallocCap = 1 << 10
+	ix.tiles = make([]tile, 0, min(tileCount, preallocCap))
+	ix.tileIDs = make([]int32, 0, min(tileCount, preallocCap))
 
 	maxTileID := uint32(nx) * uint32(ny)
 	for slot := uint64(0); slot < tileCount; slot++ {
@@ -161,7 +193,8 @@ func Load(r io.Reader) (*Index, error) {
 		if tileID >= maxTileID {
 			return nil, fmt.Errorf("core: tile ID %d out of range", tileID)
 		}
-		ix.tileIDs[slot] = int32(tileID)
+		ix.tiles = append(ix.tiles, tile{})
+		ix.tileIDs = append(ix.tileIDs, int32(tileID))
 		if ix.dense != nil {
 			ix.dense[tileID] = int32(slot)
 		} else {
@@ -183,9 +216,9 @@ func Load(r io.Reader) (*Index, error) {
 			if lens[c] == 0 {
 				continue
 			}
-			entries := make([]spatial.Entry, lens[c])
-			for i := range entries {
-				e := &entries[i]
+			entries := make([]spatial.Entry, 0, min(uint64(lens[c]), preallocCap))
+			for i := uint64(0); i < uint64(lens[c]); i++ {
+				var e spatial.Entry
 				for _, v := range []any{&e.ID, &e.Rect.MinX, &e.Rect.MinY, &e.Rect.MaxX, &e.Rect.MaxY} {
 					if err := read(v); err != nil {
 						return nil, fmt.Errorf("core: reading tile %d entries: %w", slot, err)
@@ -194,9 +227,27 @@ func Load(r io.Reader) (*Index, error) {
 				if !e.Rect.Valid() || math.IsInf(e.Rect.MinX, 0) {
 					return nil, fmt.Errorf("core: corrupt entry rect %v", e.Rect)
 				}
+				entries = append(entries, e)
 			}
 			t.classes[c] = entries
 		}
+	}
+	// Densify under the same size cutoff New applies, with one extra
+	// guard: the directory must be within a constant factor of the tile
+	// data it indexes. A near-empty snapshot of a huge grid keeps the
+	// sparse map — the right call memory-wise, and it keeps the directory
+	// allocation proportional to the bytes actually decoded (a corrupt
+	// header cannot demand a 128 MB directory for three tiles of data).
+	if n := int(nx) * int(ny); n <= ix.opts.DenseDirectoryLimit &&
+		n <= max(1<<20, 256*len(ix.tiles)) {
+		dense := make([]int32, n)
+		for i := range dense {
+			dense[i] = -1
+		}
+		for id, slot := range ix.sparse {
+			dense[id] = slot
+		}
+		ix.dense, ix.sparse = dense, nil
 	}
 	if ix.opts.Decompose {
 		ix.BuildDecomposed()

@@ -49,6 +49,66 @@ func TestPersistRoundTrip(t *testing.T) {
 	}
 }
 
+// TestPersistEpochRoundTrip: the v2 header carries the copy-on-write
+// epoch, so a checkpoint of a Live snapshot remembers its log position.
+func TestPersistEpochRoundTrip(t *testing.T) {
+	rnd := rand.New(rand.NewSource(183))
+	orig, _ := buildRandom(rnd, 200, 0.1, Options{NX: 8, NY: 8})
+	orig.SetEpoch(41)
+	var buf bytes.Buffer
+	if _, err := orig.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Epoch() != 41 {
+		t.Fatalf("epoch = %d, want 41", loaded.Epoch())
+	}
+}
+
+// TestPersistV1Readable: bytes written in the v1 layout (no epoch field)
+// still load, with the epoch defaulting to zero.
+func TestPersistV1Readable(t *testing.T) {
+	rnd := rand.New(rand.NewSource(184))
+	orig, _ := buildRandom(rnd, 300, 0.1, Options{NX: 8, NY: 8, Decompose: true})
+	orig.SetEpoch(7) // must NOT survive a v1 round trip
+
+	var v1 bytes.Buffer
+	if _, err := orig.writeVersion(&v1, 1); err != nil {
+		t.Fatal(err)
+	}
+	v1len := v1.Len()
+	loaded, err := Load(&v1)
+	if err != nil {
+		t.Fatalf("loading v1 snapshot: %v", err)
+	}
+	if loaded.Epoch() != 0 {
+		t.Fatalf("v1 load epoch = %d, want 0", loaded.Epoch())
+	}
+	if loaded.Len() != orig.Len() {
+		t.Fatalf("Len %d != %d", loaded.Len(), orig.Len())
+	}
+	if loaded.Decomposed() != orig.Decomposed() {
+		t.Fatal("decompose flag lost across v1")
+	}
+	for q := 0; q < 40; q++ {
+		w := randWindow(rnd, 0.3)
+		sameIDs(t, loaded.WindowIDs(w, nil), orig.WindowIDs(w, nil), "v1 window")
+	}
+
+	// A v2 snapshot of the same index must differ only by the 8-byte
+	// epoch field.
+	var v2 bytes.Buffer
+	if _, err := orig.WriteTo(&v2); err != nil {
+		t.Fatal(err)
+	}
+	if v2.Len() != v1len+8 {
+		t.Fatalf("v2 size %d, v1 size %d: want exactly 8 bytes more", v2.Len(), v1len)
+	}
+}
+
 // TestPersistEmptyIndex round-trips an index with no objects.
 func TestPersistEmptyIndex(t *testing.T) {
 	orig := New(Options{NX: 8, NY: 8})

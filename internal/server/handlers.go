@@ -488,12 +488,34 @@ type liveStatsJSON struct {
 	LastPublishUS int64  `json:"last_publish_us"`
 }
 
+// durabilityJSON reports the durability engine of a durable-mode
+// server: log shape, fsync and checkpoint counters, and what startup
+// recovery replayed.
+type durabilityJSON struct {
+	FsyncPolicy          string `json:"fsync_policy"`
+	Segments             int    `json:"segments"`
+	LogBytes             int64  `json:"log_bytes"`
+	AppendedRecords      uint64 `json:"appended_records"`
+	AppendedBytes        uint64 `json:"appended_bytes"`
+	Fsyncs               uint64 `json:"fsyncs"`
+	Rotations            uint64 `json:"rotations"`
+	PrunedSegments       uint64 `json:"pruned_segments"`
+	Checkpoints          uint64 `json:"checkpoints"`
+	CheckpointEpoch      uint64 `json:"checkpoint_epoch"`
+	CheckpointAgeMS      int64  `json:"checkpoint_age_ms"`
+	SinceCheckpoint      int64  `json:"mutations_since_checkpoint"`
+	ReplayedRecords      int    `json:"replayed_records"`
+	ReplayedMutations    int    `json:"replayed_mutations"`
+	RecoveryTruncatedLog bool   `json:"recovery_truncated_log"`
+}
+
 type statsResponse struct {
-	Index           indexInfoJSON  `json:"index"`
-	Live            *liveStatsJSON `json:"live,omitempty"`
-	StatsEnabled    bool           `json:"stats_enabled"`
-	QueriesObserved int64          `json:"queries_observed"`
-	Counters        countersJSON   `json:"counters"`
+	Index           indexInfoJSON   `json:"index"`
+	Live            *liveStatsJSON  `json:"live,omitempty"`
+	Durability      *durabilityJSON `json:"durability,omitempty"`
+	StatsEnabled    bool            `json:"stats_enabled"`
+	QueriesObserved int64           `json:"queries_observed"`
+	Counters        countersJSON    `json:"counters"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -512,6 +534,27 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			LastPublishUS: ls.LastPublish.Microseconds(),
 		}
 	}
+	var durability *durabilityJSON
+	if s.durable != nil {
+		ds := s.durable.Stats()
+		durability = &durabilityJSON{
+			FsyncPolicy:          ds.Policy.String(),
+			Segments:             ds.Segments,
+			LogBytes:             ds.LogBytes,
+			AppendedRecords:      ds.AppendedRecords,
+			AppendedBytes:        ds.AppendedBytes,
+			Fsyncs:               ds.Fsyncs,
+			Rotations:            ds.Rotations,
+			PrunedSegments:       ds.PrunedSegments,
+			Checkpoints:          ds.Checkpoints,
+			CheckpointEpoch:      ds.CheckpointEpoch,
+			CheckpointAgeMS:      ds.CheckpointAge.Milliseconds(),
+			SinceCheckpoint:      ds.SinceCheckpoint,
+			ReplayedRecords:      ds.Recovery.ReplayedRecords,
+			ReplayedMutations:    ds.Recovery.ReplayedMutations,
+			RecoveryTruncatedLog: ds.Recovery.TruncatedTail,
+		}
+	}
 	snap := s.agg.Snapshot()
 	writeJSON(w, http.StatusOK, statsResponse{
 		Index: indexInfoJSON{
@@ -523,6 +566,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			ExactGeometries:   idx.HasExactGeometries(),
 		},
 		Live:            live,
+		Durability:      durability,
 		StatsEnabled:    s.cfg.CollectStats,
 		QueriesObserved: s.agg.Queries(),
 		Counters: countersJSON{
@@ -538,6 +582,22 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			RefinementTests:      snap.RefinementTests,
 			DistanceComputations: snap.DistanceComputations,
 		},
+	})
+}
+
+// handleCheckpoint (POST /checkpoint, durable mode) forces a checkpoint
+// of the current snapshot and prunes the log segments it covers.
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	epoch, err := s.durable.Checkpoint()
+	if err != nil {
+		s.cfg.Logger.Error("checkpoint failed", "err", err)
+		writeError(w, http.StatusInternalServerError, "checkpoint failed: "+err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"epoch":      epoch,
+		"elapsed_us": time.Since(start).Microseconds(),
 	})
 }
 

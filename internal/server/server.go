@@ -40,7 +40,8 @@ const (
 	shutdownGrace         = 10 * time.Second
 )
 
-// Config configures a Server. Exactly one of Index and Live must be set.
+// Config configures a Server. Exactly one of Index, Live, and Durable
+// must be set.
 type Config struct {
 	// Index is the shared index all requests query (static mode). It must
 	// not be updated while the server runs.
@@ -51,6 +52,14 @@ type Config struct {
 	// /bulk are mounted. The server does not close it; the owner should
 	// Close it after shutdown.
 	Live *twolayer.Live
+
+	// Durable is an updatable index backed by the durability engine
+	// (write-ahead log + checkpoints). It implies live mode — all Live
+	// endpoints are mounted — and additionally mounts POST /checkpoint
+	// and a "durability" section on GET /stats. The server does not
+	// close it; the owner should Close it after shutdown (a clean close
+	// fsyncs the log tail).
+	Durable *twolayer.DurableLive
 
 	// Logger receives structured request logs. Defaults to slog.Default().
 	Logger *slog.Logger
@@ -89,26 +98,38 @@ func (c Config) withDefaults() Config {
 // Server serves spatial queries over one shared two-layer index.
 type Server struct {
 	cfg     Config
-	idx     *twolayer.Index // static mode; nil in live mode
-	live    *twolayer.Live  // live mode; nil in static mode
+	idx     *twolayer.Index       // static mode; nil in live mode
+	live    *twolayer.Live        // live mode; nil in static mode
+	durable *twolayer.DurableLive // durable live mode; nil otherwise
 	metrics *Metrics
 	agg     *twolayer.AtomicStats
 	mux     *http.ServeMux
 }
 
-// New builds a Server from cfg. It panics unless exactly one of cfg.Index
-// and cfg.Live is set (a programming error, not a runtime condition).
+// New builds a Server from cfg. It panics unless exactly one of
+// cfg.Index, cfg.Live, and cfg.Durable is set (a programming error, not
+// a runtime condition).
 func New(cfg Config) *Server {
-	if (cfg.Index == nil) == (cfg.Live == nil) {
-		panic("server: exactly one of Config.Index and Config.Live is required")
+	set := 0
+	for _, on := range []bool{cfg.Index != nil, cfg.Live != nil, cfg.Durable != nil} {
+		if on {
+			set++
+		}
+	}
+	if set != 1 {
+		panic("server: exactly one of Config.Index, Config.Live and Config.Durable is required")
 	}
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:  cfg,
-		idx:  cfg.Index,
-		live: cfg.Live,
-		agg:  &twolayer.AtomicStats{},
-		mux:  http.NewServeMux(),
+		cfg:     cfg,
+		idx:     cfg.Index,
+		live:    cfg.Live,
+		durable: cfg.Durable,
+		agg:     &twolayer.AtomicStats{},
+		mux:     http.NewServeMux(),
+	}
+	if s.durable != nil {
+		s.live = s.durable.Live() // durable mode is live mode plus a WAL
 	}
 	names := []string{
 		"query/window", "query/disk", "query/knn", "query/batch",
@@ -116,6 +137,9 @@ func New(cfg Config) *Server {
 	}
 	if s.live != nil {
 		names = append(names, "mutate/insert", "mutate/delete", "mutate/bulk")
+	}
+	if s.durable != nil {
+		names = append(names, "checkpoint")
 	}
 	s.metrics = newMetrics(names)
 	s.routes()
@@ -143,6 +167,11 @@ func (s *Server) routes() {
 		s.mux.Handle("POST /insert", mutate("mutate/insert", s.handleInsert))
 		s.mux.Handle("POST /delete", mutate("mutate/delete", s.handleDelete))
 		s.mux.Handle("POST /bulk", mutate("mutate/bulk", s.handleBulk))
+	}
+	if s.durable != nil {
+		// No withTimeout: a checkpoint runs to completion once started.
+		s.mux.Handle("POST /checkpoint",
+			s.instrument("checkpoint", http.HandlerFunc(s.handleCheckpoint)))
 	}
 
 	s.mux.Handle("GET /stats", s.instrument("stats", http.HandlerFunc(s.handleStats)))

@@ -1,0 +1,332 @@
+// DurableLive: a core.Live index whose mutation stream is journaled and
+// checkpointed, recovering to exactly the acknowledged state on restart.
+package wal
+
+import (
+	"bufio"
+	"fmt"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/twolayer/twolayer/internal/core"
+)
+
+// Options configure Open.
+type Options struct {
+	// Dir is the durability directory (log segments + checkpoints).
+	// Created if missing. Required.
+	Dir string
+	// Policy selects the fsync discipline; zero value is SyncInterval.
+	Policy SyncPolicy
+	// SyncEvery is the background flush period under SyncInterval.
+	// Defaults to 100ms.
+	SyncEvery time.Duration
+	// SegmentBytes is the rotation threshold for log segments.
+	// Defaults to 8 MiB.
+	SegmentBytes int64
+	// CheckpointEvery triggers an automatic checkpoint after this many
+	// journaled mutations. 0 means the default of 65536; negative
+	// disables automatic checkpoints (POST /checkpoint and Close-time
+	// recovery still work — the log just grows until pruned manually).
+	CheckpointEvery int
+	// Index builds the starting index on a cold start (empty Dir and no
+	// Seed). Also the fallback shape when every checkpoint is unreadable.
+	Index core.Options
+	// Live tunes the apply loop. The Journal hook is owned by the
+	// durability layer and must be nil.
+	Live core.LiveOptions
+	// Seed, when non-nil and Dir holds no prior state, becomes the
+	// initial index: it is checkpointed immediately (so it is durable
+	// before any mutation is accepted) and ownership transfers to the
+	// Live index. Ignored — with a logged notice — when Dir already has
+	// state; recovery always wins over re-seeding.
+	Seed *core.Index
+	// Logger receives recovery and background-error notices.
+	// Defaults to slog.Default().
+	Logger *slog.Logger
+}
+
+func (o Options) withDefaults() Options {
+	if o.SyncEvery <= 0 {
+		o.SyncEvery = 100 * time.Millisecond
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 8 << 20
+	}
+	if o.CheckpointEvery == 0 {
+		o.CheckpointEvery = 65536
+	}
+	if o.Logger == nil {
+		o.Logger = slog.Default()
+	}
+	return o
+}
+
+// Stats is a point-in-time view of the durability layer.
+type Stats struct {
+	Policy          SyncPolicy
+	Segments        int    // on-disk log segment files (incl. active)
+	LogBytes        int64  // total bytes across segments
+	AppendedRecords uint64 // frames appended since Open
+	AppendedBytes   uint64
+	Fsyncs          uint64
+	Rotations       uint64
+	PrunedSegments  uint64
+	Checkpoints     uint64        // checkpoints written since Open
+	CheckpointEpoch uint64        // epoch of the newest checkpoint, 0 if none
+	CheckpointAge   time.Duration // since the newest checkpoint, 0 if none
+	SinceCheckpoint int64         // mutations journaled since that checkpoint
+	Recovery        RecoveryInfo
+}
+
+// DurableLive couples a core.Live index with the write-ahead log: every
+// mutation batch is journaled (and fsynced per Options.Policy) before it
+// is applied or acknowledged, checkpoints bound replay time, and Open
+// restores the acknowledged state after a crash. All methods are safe
+// for concurrent use.
+type DurableLive struct {
+	dir    string
+	opt    Options
+	live   *core.Live
+	log    *appendLog
+	logger *slog.Logger
+	rec    RecoveryInfo
+
+	ckptMu    sync.Mutex // serializes checkpoint writes
+	ckptEpoch atomic.Uint64
+	ckptNS    atomic.Int64 // unixnano of the newest checkpoint, 0 if none
+	ckptCount atomic.Uint64
+	sinceCkpt atomic.Int64
+
+	ckptCh    chan struct{}
+	stop      chan struct{}
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// Open recovers (or cold-starts) the index stored in opts.Dir and wraps
+// it in a journaling Live index. The returned RecoveryInfo reports what
+// recovery found; after a clean shutdown it shows zero replayed records.
+func Open(opts Options) (*DurableLive, RecoveryInfo, error) {
+	if opts.Dir == "" {
+		return nil, RecoveryInfo{}, fmt.Errorf("wal: Options.Dir is required")
+	}
+	if opts.Live.Journal != nil {
+		return nil, RecoveryInfo{}, fmt.Errorf("wal: Options.Live.Journal must be nil (owned by the durability layer)")
+	}
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, RecoveryInfo{}, fmt.Errorf("wal: creating data dir: %w", err)
+	}
+
+	ix, segs, info, err := Recover(opts.Dir, opts.Index, opts.Logger)
+	if err != nil {
+		return nil, info, err
+	}
+	fresh := !info.CheckpointLoaded && info.SkippedBadCkpts == 0 &&
+		info.Segments == 0 && info.ReplayedRecords == 0 && info.SkippedRecords == 0
+	if opts.Seed != nil {
+		if fresh {
+			ix = opts.Seed
+			if err := writeCheckpoint(opts.Dir, ix); err != nil {
+				return nil, info, fmt.Errorf("wal: checkpointing seed index: %w", err)
+			}
+			info.CheckpointEpoch = ix.Epoch()
+			info.CheckpointLoaded = true
+			info.Epoch = ix.Epoch()
+		} else {
+			opts.Logger.Warn("durability dir has prior state; ignoring seed index",
+				"dir", opts.Dir, "epoch", ix.Epoch())
+		}
+	}
+
+	log, err := openLog(opts.Dir, ix.Epoch()+1, segs, opts.SegmentBytes, opts.Policy, opts.SyncEvery)
+	if err != nil {
+		return nil, info, err
+	}
+	d := &DurableLive{
+		dir:    opts.Dir,
+		opt:    opts,
+		log:    log,
+		logger: opts.Logger,
+		rec:    info,
+		ckptCh: make(chan struct{}, 1),
+		stop:   make(chan struct{}),
+	}
+	if info.CheckpointLoaded {
+		d.ckptEpoch.Store(info.CheckpointEpoch)
+		d.ckptNS.Store(time.Now().UnixNano())
+	}
+	liveOpts := opts.Live
+	liveOpts.Journal = d.journal
+	d.live = core.NewLive(ix, liveOpts)
+	d.wg.Add(1)
+	go d.checkpointLoop()
+	return d, info, nil
+}
+
+// Live returns the underlying live index. Mutations submitted through it
+// are journaled — the write-ahead hook lives inside the apply loop, so
+// there is no undurable side door.
+func (d *DurableLive) Live() *core.Live { return d.live }
+
+// journal is the core.LiveOptions.Journal hook: append-before-publish,
+// plus the automatic checkpoint trigger.
+func (d *DurableLive) journal(epoch uint64, muts []core.Mutation) error {
+	if err := d.log.Append(epoch, muts); err != nil {
+		return err
+	}
+	if d.opt.CheckpointEvery > 0 &&
+		d.sinceCkpt.Add(int64(len(muts))) >= int64(d.opt.CheckpointEvery) {
+		select {
+		case d.ckptCh <- struct{}{}:
+		default: // one already pending
+		}
+	}
+	return nil
+}
+
+func (d *DurableLive) checkpointLoop() {
+	defer d.wg.Done()
+	for {
+		select {
+		case <-d.ckptCh:
+			if _, err := d.Checkpoint(); err != nil {
+				d.logger.Warn("automatic checkpoint failed", "err", err)
+			}
+		case <-d.stop:
+			return
+		}
+	}
+}
+
+// Checkpoint writes the current snapshot as a checkpoint file (atomic
+// tmp+rename), prunes log segments it covers, and drops superseded
+// checkpoint files. It returns the checkpointed epoch, and is a cheap
+// no-op when no mutations were published since the last checkpoint.
+// Writers and readers are never paused: the snapshot is immutable.
+func (d *DurableLive) Checkpoint() (uint64, error) {
+	d.ckptMu.Lock()
+	defer d.ckptMu.Unlock()
+	snap := d.live.Snapshot()
+	epoch := snap.Epoch()
+	if d.ckptNS.Load() != 0 && epoch <= d.ckptEpoch.Load() {
+		return epoch, nil
+	}
+	d.sinceCkpt.Store(0) // mutations journaled from here count toward the next one
+	if err := writeCheckpoint(d.dir, snap); err != nil {
+		return 0, err
+	}
+	d.ckptEpoch.Store(epoch)
+	d.ckptNS.Store(time.Now().UnixNano())
+	d.ckptCount.Add(1)
+	d.log.Prune(epoch)
+	d.dropOldCheckpoints(epoch)
+	return epoch, nil
+}
+
+// dropOldCheckpoints keeps the newest checkpoint plus one predecessor
+// (a cheap hedge against a latent bad write) and removes the rest.
+func (d *DurableLive) dropOldCheckpoints(newest uint64) {
+	ckpts, _, err := listState(d.dir)
+	if err != nil {
+		return
+	}
+	keep := 0
+	for i := len(ckpts) - 1; i >= 0; i-- {
+		if ckpts[i].first <= newest {
+			keep++
+		}
+		if keep > 2 {
+			os.Remove(ckpts[i].path)
+		}
+	}
+}
+
+// writeCheckpoint atomically persists ix as dir's checkpoint for its
+// epoch: write to a temp file, fsync, rename, fsync the directory.
+func writeCheckpoint(dir string, ix *core.Index) error {
+	final := filepath.Join(dir, checkpointName(ix.Epoch()))
+	tmp := final + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriterSize(f, 1<<20)
+	if _, err := ix.WriteTo(bw); err == nil {
+		err = bw.Flush()
+	}
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: writing checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: publishing checkpoint: %w", err)
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so renames within it are durable.
+func syncDir(dir string) error {
+	df, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = df.Sync()
+	if cerr := df.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("wal: fsync dir: %w", err)
+	}
+	return nil
+}
+
+// Stats reports the durability counters.
+func (d *DurableLive) Stats() Stats {
+	ls := d.log.Stats()
+	s := Stats{
+		Policy:          d.opt.Policy,
+		Segments:        ls.segments,
+		LogBytes:        ls.logBytes,
+		AppendedRecords: ls.appended,
+		AppendedBytes:   ls.appendedB,
+		Fsyncs:          ls.fsyncs,
+		Rotations:       ls.rotations,
+		PrunedSegments:  ls.pruned,
+		Checkpoints:     d.ckptCount.Load(),
+		CheckpointEpoch: d.ckptEpoch.Load(),
+		SinceCheckpoint: d.sinceCkpt.Load(),
+		Recovery:        d.rec,
+	}
+	if ns := d.ckptNS.Load(); ns != 0 {
+		s.CheckpointAge = time.Since(time.Unix(0, ns))
+	}
+	return s
+}
+
+// Close stops the checkpointer, drains and closes the live index (its
+// final batches are journaled on the way out), and closes the log with a
+// final fsync. A recovered restart after a clean Close replays only the
+// frames above the last checkpoint. Close is idempotent.
+func (d *DurableLive) Close() error {
+	d.closeOnce.Do(func() {
+		close(d.stop)
+		d.wg.Wait()
+		d.live.Close()
+		d.closeErr = d.log.Close()
+	})
+	return d.closeErr
+}
