@@ -507,6 +507,10 @@ type durabilityJSON struct {
 	ReplayedRecords      int    `json:"replayed_records"`
 	ReplayedMutations    int    `json:"replayed_mutations"`
 	RecoveryTruncatedLog bool   `json:"recovery_truncated_log"`
+	// LogFailed is non-empty once the log hit an unrecoverable write or
+	// fsync error; all mutations are being rejected until the node is
+	// restarted on a healthy disk.
+	LogFailed string `json:"log_failed,omitempty"`
 }
 
 type statsResponse struct {
@@ -553,6 +557,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			ReplayedRecords:      ds.Recovery.ReplayedRecords,
 			ReplayedMutations:    ds.Recovery.ReplayedMutations,
 			RecoveryTruncatedLog: ds.Recovery.TruncatedTail,
+			LogFailed:            ds.Failed,
 		}
 	}
 	snap := s.agg.Snapshot()

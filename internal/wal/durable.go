@@ -80,7 +80,12 @@ type Stats struct {
 	CheckpointEpoch uint64        // epoch of the newest checkpoint, 0 if none
 	CheckpointAge   time.Duration // since the newest checkpoint, 0 if none
 	SinceCheckpoint int64         // mutations journaled since that checkpoint
-	Recovery        RecoveryInfo
+	// Failed is non-empty once the log has hit an unrecoverable write or
+	// fsync error (the on-disk tail can no longer be trusted): every
+	// subsequent mutation is rejected with this error. A non-empty value
+	// is an operator signal to fail the node over and inspect the disk.
+	Failed   string
+	Recovery RecoveryInfo
 }
 
 // DurableLive couples a core.Live index with the write-ahead log: every
@@ -145,7 +150,7 @@ func Open(opts Options) (*DurableLive, RecoveryInfo, error) {
 		}
 	}
 
-	log, err := openLog(opts.Dir, ix.Epoch()+1, segs, opts.SegmentBytes, opts.Policy, opts.SyncEvery)
+	log, err := openLog(opts.Dir, ix.Epoch()+1, segs, opts.SegmentBytes, opts.Policy, opts.SyncEvery, opts.Logger)
 	if err != nil {
 		return nil, info, err
 	}
@@ -218,8 +223,12 @@ func (d *DurableLive) Checkpoint() (uint64, error) {
 	if d.ckptNS.Load() != 0 && epoch <= d.ckptEpoch.Load() {
 		return epoch, nil
 	}
-	d.sinceCkpt.Store(0) // mutations journaled from here count toward the next one
+	// Mutations journaled from here on count toward the next checkpoint;
+	// if the write fails the count is restored so the automatic trigger
+	// refires promptly instead of waiting out a whole fresh interval.
+	saved := d.sinceCkpt.Swap(0)
 	if err := writeCheckpoint(d.dir, snap); err != nil {
+		d.sinceCkpt.Add(saved)
 		return 0, err
 	}
 	d.ckptEpoch.Store(epoch)
@@ -310,6 +319,9 @@ func (d *DurableLive) Stats() Stats {
 		CheckpointEpoch: d.ckptEpoch.Load(),
 		SinceCheckpoint: d.sinceCkpt.Load(),
 		Recovery:        d.rec,
+	}
+	if ls.failed != nil {
+		s.Failed = ls.failed.Error()
 	}
 	if ns := d.ckptNS.Load(); ns != 0 {
 		s.CheckpointAge = time.Since(time.Unix(0, ns))

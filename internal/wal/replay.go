@@ -217,11 +217,27 @@ func listState(dir string) (ckpts, segs []segmentMeta, err error) {
 	return ckpts, segs, nil
 }
 
+// quarantine renames an unreadable checkpoint to <name>.bad: the file no
+// longer matches the checkpoint pattern (so later recoveries ignore it)
+// but its bytes survive for inspection.
+func quarantine(logger *slog.Logger, path string, cause error) {
+	bad := path + ".bad"
+	if err := os.Rename(path, bad); err != nil {
+		logger.Warn("unreadable checkpoint could not be quarantined",
+			"path", path, "cause", cause, "err", err)
+		return
+	}
+	logger.Warn("quarantined unreadable checkpoint", "path", path, "renamed", bad, "cause", cause)
+}
+
 // Recover rebuilds the index state stored in dir: the newest readable
 // checkpoint, plus a replay of every log frame above the checkpoint
-// epoch. opts builds the starting index when no checkpoint is readable
-// (cold start, or every checkpoint corrupt — the log then replays from
-// epoch zero).
+// epoch. opts builds the starting index on a cold start (no checkpoint
+// files at all). When checkpoint files exist but an older one loads,
+// the unreadable newer ones are quarantined (renamed to .bad); when
+// none loads, Recover returns an error and leaves every file in place —
+// the log alone cannot prove it reconstructs the checkpointed state, so
+// healing to an empty index would silently destroy durable data.
 //
 // The log tail is healed, not rejected: the first torn or corrupt frame
 // ends the replay, the segment is truncated back to the last intact
@@ -239,25 +255,50 @@ func Recover(dir string, opts core.Options, logger *slog.Logger) (*core.Index, [
 		return nil, nil, info, err
 	}
 
-	// Newest readable checkpoint wins; unreadable ones are skipped, not
-	// fatal — the log can replay over an older checkpoint or from zero.
+	// Newest readable checkpoint wins. An unreadable one is skipped, not
+	// fatal — an older checkpoint can still cover it — but never deleted.
 	var ix *core.Index
+	type badCkpt struct {
+		path  string
+		cause error
+	}
+	var unreadable []badCkpt
 	for i := len(ckpts) - 1; i >= 0 && ix == nil; i-- {
 		f, err := os.Open(ckpts[i].path)
-		if err != nil {
-			info.SkippedBadCkpts++
-			continue
+		if err == nil {
+			var loaded *core.Index
+			loaded, err = core.Load(bufio.NewReader(f))
+			f.Close()
+			if err == nil && loaded.Epoch() != ckpts[i].first {
+				err = fmt.Errorf("checkpoint epoch %d does not match file name", loaded.Epoch())
+			}
+			if err == nil {
+				ix = loaded
+				info.CheckpointEpoch = loaded.Epoch()
+				info.CheckpointLoaded = true
+				break
+			}
 		}
-		loaded, err := core.Load(bufio.NewReader(f))
-		f.Close()
-		if err != nil || loaded.Epoch() != ckpts[i].first {
-			logger.Warn("skipping unreadable checkpoint", "path", ckpts[i].path, "err", err)
-			info.SkippedBadCkpts++
-			continue
-		}
-		ix = loaded
-		info.CheckpointEpoch = loaded.Epoch()
-		info.CheckpointLoaded = true
+		info.SkippedBadCkpts++
+		unreadable = append(unreadable, badCkpt{path: ckpts[i].path, cause: err})
+	}
+	if ix == nil && info.SkippedBadCkpts > 0 {
+		// Checkpoint files exist but none is readable. The log alone
+		// cannot reconstruct the checkpointed state: frames below the
+		// checkpoint epoch may be pruned, and a seed index adopted at
+		// epoch zero was checkpointed, never journaled. Healing to
+		// whatever the log yields would silently discard durable state —
+		// refuse instead, leaving every file untouched so a supervised
+		// restart hits the same error until an operator intervenes.
+		return nil, nil, info, fmt.Errorf(
+			"wal: none of the %d checkpoint files in %s is readable; refusing to recover to an empty index (move them aside to force a log-only replay)",
+			info.SkippedBadCkpts, dir)
+	}
+	// Recovery can proceed; quarantine the unreadable newer checkpoints
+	// (renamed to .bad) so they are out of future recoveries' way but
+	// their bytes survive for inspection.
+	for _, b := range unreadable {
+		quarantine(logger, b.path, b.cause)
 	}
 	if ix == nil {
 		ix = core.New(opts)
@@ -334,13 +375,9 @@ func Recover(dir string, opts core.Options, logger *slog.Logger) (*core.Index, [
 
 	info.Epoch = ix.Epoch()
 	info.Segments = len(surviving)
-	// Remove checkpoints newer than the one loaded (they failed to load)
-	// and any stale temp files from interrupted checkpoint writes.
-	for _, c := range ckpts {
-		if c.first > info.CheckpointEpoch || !info.CheckpointLoaded {
-			os.Remove(c.path)
-		}
-	}
+	// Checkpoints that failed to load were quarantined above; the ones
+	// older than the loaded checkpoint stay (dropOldCheckpoints keeps the
+	// newest two). Stale temp files from interrupted writes are removed.
 	if tmps, err := filepath.Glob(filepath.Join(dir, "*.tmp")); err == nil {
 		for _, p := range tmps {
 			os.Remove(p)

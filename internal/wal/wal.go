@@ -41,6 +41,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"log/slog"
 	"math"
 	"os"
 	"path/filepath"
@@ -137,6 +138,7 @@ type logStats struct {
 	rotations  uint64
 	pruned     uint64
 	lastAppend time.Time
+	failed     error // non-nil once the log is poisoned
 }
 
 // appendLog is the segmented append-only writer. All methods are safe
@@ -145,12 +147,14 @@ type appendLog struct {
 	dir          string
 	segmentBytes int64
 	policy       SyncPolicy
+	logger       *slog.Logger
 
 	mu     sync.Mutex
 	f      *os.File
 	active segmentMeta
 	sealed []segmentMeta // older segments, ascending by first epoch
 	dirty  bool          // bytes written since the last fsync
+	failed error         // sticky: set once the on-disk tail is untrustworthy
 	buf    []byte        // frame encode scratch, reused across appends
 
 	appended   uint64
@@ -168,11 +172,16 @@ type appendLog struct {
 // openLog starts a fresh active segment for epochs >= nextEpoch, taking
 // over the already-existing sealed segments for stats and pruning.
 func openLog(dir string, nextEpoch uint64, sealed []segmentMeta,
-	segmentBytes int64, policy SyncPolicy, syncEvery time.Duration) (*appendLog, error) {
+	segmentBytes int64, policy SyncPolicy, syncEvery time.Duration,
+	logger *slog.Logger) (*appendLog, error) {
+	if logger == nil {
+		logger = slog.Default()
+	}
 	l := &appendLog{
 		dir:          dir,
 		segmentBytes: segmentBytes,
 		policy:       policy,
+		logger:       logger,
 		sealed:       sealed,
 		stop:         make(chan struct{}),
 	}
@@ -250,9 +259,21 @@ func encodeFrame(buf []byte, epoch uint64, muts []core.Mutation) []byte {
 // Append writes one batch frame, rotating the active segment first when
 // it is already over the size threshold. Under SyncAlways the frame is
 // fsynced before Append returns.
+//
+// A rejected batch must leave no trace: the apply loop does not advance
+// the epoch on a journal error, so the next batch reuses this epoch, and
+// any leftover bytes from the failed frame would corrupt the log (at
+// best truncating acknowledged successors on recovery, at worst
+// replaying the rejected batch in place of the acknowledged one). Any
+// write or fsync failure therefore rolls the segment back to the
+// pre-frame offset; if even the rollback fails, the log is poisoned and
+// every later Append is rejected.
 func (l *appendLog) Append(epoch uint64, muts []core.Mutation) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.failed != nil {
+		return l.failed
+	}
 	if l.f == nil {
 		return fmt.Errorf("wal: log is closed")
 	}
@@ -261,20 +282,48 @@ func (l *appendLog) Append(epoch uint64, muts []core.Mutation) error {
 			return err
 		}
 	}
+	pre := l.active.size
 	l.buf = encodeFrame(l.buf[:0], epoch, muts)
 	n, err := l.f.Write(l.buf)
 	l.active.size += int64(n)
 	if err != nil {
+		l.rollbackLocked(pre, err)
 		return fmt.Errorf("wal: appending frame: %w", err)
 	}
 	l.dirty = true
+	if l.policy == SyncAlways {
+		if err := l.syncLocked(); err != nil {
+			// The frame reached the kernel but not stable storage; the
+			// batch is rejected, so its bytes must not stay ahead of the
+			// next frame. (syncLocked has already poisoned the log — a
+			// Linux fsync failure drops the dirty pages, so a retried
+			// fsync could succeed without persisting anything.)
+			l.rollbackLocked(pre, err)
+			return err
+		}
+	}
 	l.appended++
 	l.appendedB += uint64(n)
 	l.lastAppend = time.Now()
-	if l.policy == SyncAlways {
-		return l.syncLocked()
-	}
 	return nil
+}
+
+// rollbackLocked truncates the active segment back to pre, discarding a
+// frame whose write or fsync failed. If the rollback itself fails the
+// leftover bytes cannot be removed, so the log is poisoned: accepting
+// further frames behind a partial one would corrupt the epoch sequence.
+func (l *appendLog) rollbackLocked(pre int64, cause error) {
+	err := l.f.Truncate(pre)
+	if err == nil {
+		_, err = l.f.Seek(pre, io.SeekStart)
+	}
+	if err != nil {
+		l.failed = fmt.Errorf("wal: log failed (rollback after %v): %w", cause, err)
+		l.logger.Error("wal: segment rollback failed; log poisoned, further appends will be rejected",
+			"path", l.active.path, "offset", pre, "cause", cause, "err", err)
+		return
+	}
+	l.active.size = pre
 }
 
 // rotateLocked seals the active segment and opens a new one whose first
@@ -292,12 +341,20 @@ func (l *appendLog) rotateLocked(epoch uint64) error {
 	return l.openSegment(epoch)
 }
 
+// syncLocked fsyncs pending bytes. An fsync failure poisons the log:
+// on Linux a failed fsync drops the dirty pages, so a later fsync can
+// report success without the data ever reaching stable storage —
+// retrying would turn silent data loss into an acknowledged write.
 func (l *appendLog) syncLocked() error {
+	if l.failed != nil {
+		return l.failed
+	}
 	if !l.dirty {
 		return nil
 	}
 	if err := l.f.Sync(); err != nil {
-		return fmt.Errorf("wal: fsync: %w", err)
+		l.failed = fmt.Errorf("wal: fsync: %w", err)
+		return l.failed
 	}
 	l.dirty = false
 	l.fsyncs++
@@ -325,8 +382,16 @@ func (l *appendLog) syncLoop(every time.Duration) {
 		select {
 		case <-t.C:
 			l.mu.Lock()
-			if l.f != nil {
-				l.syncLocked() // best effort; append errors surface to writers
+			// Background fsync errors never reach a writer on their own
+			// (the write already succeeded), so they must not vanish:
+			// syncLocked poisons the log — failing every later Append —
+			// and the poisoning tick is logged here. Subsequent ticks see
+			// l.failed and stay silent.
+			if l.f != nil && l.failed == nil {
+				if err := l.syncLocked(); err != nil {
+					l.logger.Error("wal: background fsync failed; log poisoned, further appends will be rejected",
+						"path", l.active.path, "err", err)
+				}
 			}
 			l.mu.Unlock()
 		case <-l.stop:
@@ -373,6 +438,7 @@ func (l *appendLog) Stats() logStats {
 		rotations:  l.rotations,
 		pruned:     l.pruned,
 		lastAppend: l.lastAppend,
+		failed:     l.failed,
 	}
 	if l.f == nil {
 		s.segments--

@@ -662,3 +662,248 @@ func TestRecoverBadSegmentHeader(t *testing.T) {
 		t.Fatalf("bad-header segment produced state: len=%d segs=%v", ix.Len(), segs)
 	}
 }
+
+// TestAppendRollbackAfterPartialWrite: a failed append must leave no
+// bytes in the segment — the apply loop reuses the epoch for the next
+// batch, so a leftover partial (or complete) frame would corrupt the
+// log. The rollback truncates back to the pre-frame offset and the
+// next append lands exactly there.
+func TestAppendRollbackAfterPartialWrite(t *testing.T) {
+	dir := t.TempDir()
+	l, err := openLog(dir, 1, nil, 1<<20, SyncNone, 0, quiet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mut := func(id spatial.ID) []core.Mutation {
+		return []core.Mutation{{Entry: spatial.Entry{ID: id, Rect: rectFor(id)}}}
+	}
+	if err := l.Append(1, mut(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(2, mut(2)); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate Append's error path: partial frame bytes hit the file,
+	// then the write "fails" and rollbackLocked undoes it.
+	l.mu.Lock()
+	pre := l.active.size
+	n, err := l.f.Write([]byte("partial frame of a rejected batch"))
+	if err != nil {
+		l.mu.Unlock()
+		t.Fatal(err)
+	}
+	l.active.size += int64(n)
+	l.rollbackLocked(pre, fmt.Errorf("injected write failure"))
+	failed, size := l.failed, l.active.size
+	l.mu.Unlock()
+	if failed != nil {
+		t.Fatalf("rollback poisoned a healthy log: %v", failed)
+	}
+	if size != pre {
+		t.Fatalf("rollback left size %d, want %d", size, pre)
+	}
+	// The next published batch lands exactly where the rejected frame
+	// started; the segment must scan back contiguously.
+	if err := l.Append(3, mut(3)); err != nil {
+		t.Fatal(err)
+	}
+	path := l.active.path
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var epochs []uint64
+	if _, err := scanSegment(f, func(e uint64, _ []core.Mutation) error {
+		epochs = append(epochs, e)
+		return nil
+	}); err != nil {
+		t.Fatalf("segment corrupt after rollback: %v (epochs %v)", err, epochs)
+	}
+	if len(epochs) != 3 || epochs[0] != 1 || epochs[1] != 2 || epochs[2] != 3 {
+		t.Fatalf("scanned epochs %v, want [1 2 3]", epochs)
+	}
+}
+
+// TestAppendPoisonedWhenRollbackFails: if the frame cannot be written
+// and cannot be rolled back either, the log must go sticky-failed —
+// every later append rejected, the state visible in stats — rather
+// than keep acking batches behind an untrustworthy tail.
+func TestAppendPoisonedWhenRollbackFails(t *testing.T) {
+	dir := t.TempDir()
+	l, err := openLog(dir, 1, nil, 1<<20, SyncNone, 0, quiet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mut := []core.Mutation{{Entry: spatial.Entry{ID: 1, Rect: rectFor(1)}}}
+	if err := l.Append(1, mut); err != nil {
+		t.Fatal(err)
+	}
+	// Yank the fd out from under the log: the next write fails and so
+	// does the rollback truncate.
+	l.f.Close()
+	if err := l.Append(2, mut); err == nil {
+		t.Fatal("append on a dead fd succeeded")
+	}
+	if err := l.Append(3, mut); err == nil || !strings.Contains(err.Error(), "log failed") {
+		t.Fatalf("poisoned log accepted another append: %v", err)
+	}
+	if s := l.Stats(); s.failed == nil {
+		t.Fatal("poisoned state not visible in stats")
+	}
+	l.Close() // returns the sticky error; only releasing resources here
+}
+
+// TestAllCheckpointsUnreadableRefusesEmptyStart: when checkpoint files
+// exist but none loads, recovery must fail loudly — and keep failing on
+// retry, with every file left in place — never delete them and boot an
+// empty index.
+func TestAllCheckpointsUnreadableRefusesEmptyStart(t *testing.T) {
+	dir := t.TempDir()
+	opts := testOptions(dir)
+	opts.SegmentBytes = 512 // force rotations so a checkpoint prunes
+	opts.CheckpointEvery = -1
+	d, _, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := spatial.ID(1); id <= 100; id++ {
+		if _, err := d.Live().Insert(spatial.Entry{ID: id, Rect: rectFor(id)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := d.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	for id := spatial.ID(101); id <= 110; id++ {
+		if _, err := d.Live().Insert(spatial.Entry{ID: id, Rect: rectFor(id)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ckpts, err := filepath.Glob(filepath.Join(dir, ckptPrefix+"*"+ckptSuffix))
+	if err != nil || len(ckpts) == 0 {
+		t.Fatalf("no checkpoints on disk: %v %v", ckpts, err)
+	}
+	before, err := filepath.Glob(filepath.Join(dir, "*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range ckpts {
+		if err := os.WriteFile(p, []byte("not a checkpoint"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The refusal must be persistent across retries (a supervisor will
+	// restart the process) and must not move or delete anything — the
+	// operator decides what to salvage.
+	for attempt := 0; attempt < 2; attempt++ {
+		if _, _, err := Open(opts); err == nil {
+			t.Fatalf("attempt %d: Open healed all-bad checkpoints to an empty index instead of failing", attempt)
+		}
+	}
+	after, _ := filepath.Glob(filepath.Join(dir, "*"))
+	if len(after) != len(before) {
+		t.Fatalf("refused recovery changed the directory: had %v, now %v", before, after)
+	}
+}
+
+// TestBadCheckpointQuarantinedOnFallback: when an older checkpoint still
+// loads, the unreadable newer one is quarantined as .bad — out of future
+// recoveries' way, bytes preserved — rather than deleted.
+func TestBadCheckpointQuarantinedOnFallback(t *testing.T) {
+	dir := t.TempDir()
+	opts := testOptions(dir)
+	opts.CheckpointEvery = -1
+	d, _, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := spatial.ID(1); id <= 20; id++ {
+		if _, err := d.Live().Insert(spatial.Entry{ID: id, Rect: rectFor(id)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := d.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	for id := spatial.ID(21); id <= 30; id++ {
+		if _, err := d.Live().Insert(spatial.Entry{ID: id, Rect: rectFor(id)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	epoch2, err := d.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, checkpointName(epoch2))
+	if err := os.WriteFile(path, []byte("clobbered"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	d2, info, err := Open(opts)
+	if err != nil {
+		t.Fatalf("fallback to the older checkpoint failed: %v", err)
+	}
+	defer d2.Close()
+	if !info.CheckpointLoaded || info.SkippedBadCkpts != 1 {
+		t.Fatalf("recovery info = %+v, want older checkpoint loaded and one skipped", info)
+	}
+	if _, err := os.Stat(path + ".bad"); err != nil {
+		t.Fatalf("unreadable checkpoint was not quarantined: %v", err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("unreadable checkpoint still in place under its original name")
+	}
+}
+
+// TestCheckpointFailureRestoresCounter: a failed checkpoint write must
+// put the mutations-since-checkpoint count back, so the automatic
+// trigger refires promptly instead of waiting out a fresh interval.
+func TestCheckpointFailureRestoresCounter(t *testing.T) {
+	dir := t.TempDir()
+	opts := testOptions(dir)
+	opts.CheckpointEvery = 1000 // counting on, threshold never reached
+	d, _, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	const muts = 7
+	for id := spatial.ID(1); id <= muts; id++ {
+		if _, err := d.Live().Insert(spatial.Entry{ID: id, Rect: rectFor(id)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Block the checkpoint: a directory squatting on the tmp path makes
+	// writeCheckpoint's create fail.
+	epoch := d.Live().Snapshot().Epoch()
+	block := filepath.Join(dir, checkpointName(epoch)+".tmp")
+	if err := os.Mkdir(block, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Checkpoint(); err == nil {
+		t.Fatal("checkpoint succeeded over a blocked tmp path")
+	}
+	if got := d.Stats().SinceCheckpoint; got != muts {
+		t.Fatalf("failed checkpoint left SinceCheckpoint=%d, want %d restored", got, muts)
+	}
+	if err := os.Remove(block); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Stats().SinceCheckpoint; got != 0 {
+		t.Fatalf("successful checkpoint left SinceCheckpoint=%d, want 0", got)
+	}
+}
