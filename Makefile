@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check build fmt-check vet test test-race race-hot bench bench-json fuzz-short experiments
+.PHONY: check build fmt-check vet test test-race race-hot bench bench-build bench-json fuzz-short experiments
 
 check: build fmt-check vet test-race
 
@@ -35,10 +35,20 @@ race-hot:
 bench:
 	$(GO) test -bench=. -benchmem
 
-# The core window/disk/live benchmarks as a committed JSON report:
+# Construction-pipeline benchmarks: sequential insert loop vs the
+# two-pass parallel build, plus the decomposed-table build. CI runs this
+# with BENCH_BUILD_TIME=1x as a smoke test; use the default (or longer)
+# on a multi-core machine to measure scaling.
+BENCH_BUILD_TIME ?= 1s
+
+bench-build:
+	$(GO) test -run '^$$' -bench 'BenchmarkBuild' -benchmem \
+		-benchtime $(BENCH_BUILD_TIME) .
+
+# The core window/disk/live/build benchmarks as a committed JSON report:
 # writes the next BENCH_<n>.json so runs across revisions sit side by
 # side and diff cleanly (see cmd/benchjson).
-BENCH_JSON_PATTERN ?= BenchmarkTable5Window|BenchmarkDiskQueries|BenchmarkLiveApply
+BENCH_JSON_PATTERN ?= BenchmarkTable5Window|BenchmarkDiskQueries|BenchmarkLiveApply|BenchmarkBuild
 BENCH_JSON_TIME ?= 0.2s
 
 bench-json:

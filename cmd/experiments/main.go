@@ -21,10 +21,11 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (table3..table6, fig6..fig12, all)")
+	exp := flag.String("exp", "all", "experiment id (table3..table6, fig6..fig12, ext, build, all)")
 	scale := flag.Float64("scale", 1.0, "workload scale factor")
 	budget := flag.Duration("budget", 5*time.Second, "time budget per measurement point")
 	seed := flag.Int64("seed", 0, "workload seed (0 = default)")
+	buildThreads := flag.Int("build-threads", 0, "worker count for the build experiment's parallel column (0 = NumCPU)")
 	flag.Parse()
 
 	cfg := bench.Config{
@@ -32,6 +33,7 @@ func main() {
 		Scale:        *scale,
 		TimePerPoint: *budget,
 		Seed:         *seed,
+		BuildThreads: *buildThreads,
 	}
 	start := time.Now()
 	if err := bench.Run(*exp, cfg); err != nil {

@@ -38,6 +38,11 @@ type Config struct {
 	TimePerPoint time.Duration
 	// Seed drives all workload generation.
 	Seed int64
+	// BuildThreads is the worker count the "build" experiment uses for
+	// its parallel column (core.Options.BuildThreads semantics: 0 means
+	// runtime.NumCPU()). Other experiments build their indices with the
+	// default pipeline.
+	BuildThreads int
 }
 
 func (c Config) withDefaults() Config {
@@ -190,10 +195,11 @@ func Run(id string, cfg Config) error {
 		"fig11":  Fig11,
 		"fig12":  Fig12,
 		"ext":    Extensions,
+		"build":  BuildExp,
 	}
 	if id == "all" {
 		for _, name := range []string{"table3", "table4", "table5", "table6",
-			"fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "ext"} {
+			"fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "ext", "build"} {
 			experiments[name](cfg)
 		}
 		return nil

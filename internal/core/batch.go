@@ -95,8 +95,37 @@ type tileSubtasks struct {
 }
 
 func (ix *Index) batchTilesBased(queries []geom.Rect, threads int, fn func(int, spatial.Entry)) {
-	// Step 1: accumulate subtasks per non-empty tile.
+	// Step 1: accumulate subtasks per non-empty tile, with a counting
+	// sweep first (the same two-pass idiom as the parallel build): the
+	// per-slot buckets are carved exact-size out of one slab, so large
+	// batches never pay append regrowth or per-bucket allocations.
+	counts := make([]int32, len(ix.tiles))
+	total := 0
+	for q := range queries {
+		w := queries[q]
+		if !w.Valid() {
+			continue
+		}
+		qx0, qy0, qx1, qy1 := ix.g.CoverRect(w)
+		for ty := qy0; ty <= qy1; ty++ {
+			for tx := qx0; tx <= qx1; tx++ {
+				if slot := ix.slotAt(tx, ty); slot >= 0 {
+					counts[slot]++
+					total++
+				}
+			}
+		}
+	}
+	slab := make([]int32, total)
 	perSlot := make([][]int32, len(ix.tiles))
+	numTasks, off := 0, 0
+	for slot, ct := range counts {
+		if ct > 0 {
+			perSlot[slot] = slab[off : off : off+int(ct)]
+			off += int(ct)
+			numTasks++
+		}
+	}
 	for q := range queries {
 		w := queries[q]
 		if !w.Valid() {
@@ -111,7 +140,7 @@ func (ix *Index) batchTilesBased(queries []geom.Rect, threads int, fn func(int, 
 			}
 		}
 	}
-	tasks := make([]tileSubtasks, 0, len(ix.tiles))
+	tasks := make([]tileSubtasks, 0, numTasks)
 	for slot, qs := range perSlot {
 		if len(qs) > 0 {
 			tasks = append(tasks, tileSubtasks{slot: int32(slot), queries: qs})

@@ -67,6 +67,17 @@ type Options struct {
 	// and build time for fewer comparisons on query borders. They are
 	// rebuilt lazily after updates.
 	Decompose bool
+	// BuildThreads is the worker count of the construction pipeline used
+	// by Build and BuildDecomposed: <= 0 selects runtime.NumCPU(), 1
+	// forces the sequential single-threaded path. With more than one
+	// worker, Build uses a two-pass counting pipeline (count replicas
+	// per tile and class, then fill exact-size class slices in parallel)
+	// that yields partition contents identical to the sequential path.
+	// Small datasets and grids larger than the counting-array budget
+	// fall back to the sequential path regardless of the setting. The
+	// value also parallelizes decomposed-table (re)builds, including the
+	// periodic rebuilds a Live index performs.
+	BuildThreads int
 	// SparseDirectory forces the hash-map tile directory. By default the
 	// index uses a dense directory when NX*NY <= DenseDirectoryLimit.
 	SparseDirectory bool
@@ -127,15 +138,19 @@ func (o Options) withDefaults() Options {
 }
 
 // tile is one primary partition with its four secondary partitions and,
-// when decomposition is enabled, the sorted coordinate tables.
+// when decomposition is enabled, the sorted coordinate tables. Tiles are
+// populated either by the sequential insert loop or by the parallel
+// two-pass build (see buildparallel.go); the two paths produce identical
+// class contents and differ only in the slot order of the tile pool.
 type tile struct {
 	classes [4][]spatial.Entry
 	dec     *decTile // nil until built; invalidated by updates
 	// epoch is the copy-on-write generation that privately owns the class
 	// slices. Mutations compare it against the index epoch: on a mismatch
 	// (the tile is shared with an older published snapshot) the slices are
-	// cloned first. Directly built indices stay at epoch 0 throughout, so
-	// the check never copies anything on the non-MVCC path.
+	// cloned first. Directly built indices — sequential or parallel —
+	// stay at epoch 0 throughout, so the check never copies anything on
+	// the non-MVCC path.
 	epoch uint64
 }
 
@@ -206,6 +221,13 @@ func (ix *Index) Epoch() uint64 { return ix.epoch }
 // safe (tiles cloned lazily on the next mutation); it must not be called
 // on an index shared with concurrent readers.
 func (ix *Index) SetEpoch(e uint64) { ix.epoch = e }
+
+// SetBuildThreads overrides Options.BuildThreads on an existing index,
+// so later decomposed-table rebuilds (BuildDecomposed, Live's periodic
+// rebuilds) use the requested parallelism. Snapshot loading cannot
+// carry the option — it is not part of the persisted format — so crash
+// recovery (internal/wal) re-applies the configured value here.
+func (ix *Index) SetBuildThreads(n int) { ix.opts.BuildThreads = n }
 
 // CloneCOW returns a writable copy of the index for the next epoch, while
 // ix remains a consistent immutable snapshot that concurrent readers may
@@ -285,17 +307,21 @@ func New(opts Options) *Index {
 	return ix
 }
 
-// Build constructs the index over a dataset, keeping a reference to it for
-// the refinement step.
+// Build constructs the index over a dataset, keeping a reference to it
+// for the refinement step. Construction runs the parallel two-pass
+// pipeline when Options.BuildThreads resolves to more than one worker
+// (and the workload is large enough to profit), and the classic
+// sequential insert loop otherwise; both produce the same partition
+// contents, and either way the index is a directly built one — it stays
+// at epoch 0, so later mutations never pay a copy-on-write clone until
+// the index is wrapped in a Live handle.
 func Build(d *spatial.Dataset, opts Options) *Index {
 	if opts.Space == (geom.Rect{}) {
 		opts.Space = d.MBR()
 	}
 	ix := New(opts)
 	ix.dataset = d
-	for _, e := range d.Entries {
-		ix.insert(e)
-	}
+	ix.bulkLoad(d.Entries)
 	if ix.opts.Decompose {
 		ix.BuildDecomposed()
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"slices"
 	"sort"
 
 	"github.com/twolayer/twolayer/internal/geom"
@@ -55,43 +56,66 @@ func (d *decTile) footprint() int {
 	return n * pairBytes
 }
 
-// buildTable extracts one coordinate from every entry and sorts.
+// buildTable extracts one coordinate from every entry and sorts
+// (slices.SortFunc: pdqsort with no reflection — this is the hot loop of
+// decomposed construction). The sort is deterministic for a given input
+// order, so identical class slices always yield identical tables.
 func buildTable(entries []spatial.Entry, coord func(*spatial.Entry) float64) decTable {
 	t := make(decTable, len(entries))
 	for i := range entries {
 		t[i] = decPair{coord: coord(&entries[i]), ref: uint32(i)}
 	}
-	sort.Slice(t, func(a, b int) bool { return t[a].coord < t[b].coord })
+	slices.SortFunc(t, func(a, b decPair) int {
+		switch {
+		case a.coord < b.coord:
+			return -1
+		case a.coord > b.coord:
+			return 1
+		default:
+			return 0
+		}
+	})
 	return t
+}
+
+// buildDecTile constructs the decomposed tables of one tile.
+func buildDecTile(t *tile) *decTile {
+	d := &decTile{}
+	for c := ClassA; c <= ClassD; c++ {
+		entries := t.classes[c]
+		if len(entries) == 0 {
+			continue
+		}
+		if c == ClassA || c == ClassB {
+			d.cls[c].xl = buildTable(entries, func(e *spatial.Entry) float64 { return e.Rect.MinX })
+		}
+		d.cls[c].xu = buildTable(entries, func(e *spatial.Entry) float64 { return e.Rect.MaxX })
+		if c == ClassA || c == ClassC {
+			d.cls[c].yl = buildTable(entries, func(e *spatial.Entry) float64 { return e.Rect.MinY })
+		}
+		d.cls[c].yu = buildTable(entries, func(e *spatial.Entry) float64 { return e.Rect.MaxY })
+	}
+	return d
 }
 
 // BuildDecomposed (re)builds the sorted decomposed tables for every tile
 // that does not have current ones, turning the index into its "2-layer+"
 // variant. Safe to call repeatedly; after updates only stale tiles are
-// rebuilt.
+// rebuilt. With Options.BuildThreads resolving to more than one worker
+// (and enough tiles to matter), the per-tile table construction is fanned
+// across a worker pool — tiles are independent, so the result is
+// identical to the sequential build.
 func (ix *Index) BuildDecomposed() {
 	ix.opts.Decompose = true
+	if threads := resolveBuildThreads(ix.opts.BuildThreads); threads > 1 &&
+		len(ix.tiles) >= minParallelDecTiles {
+		ix.buildDecomposedParallel(threads)
+		return
+	}
 	for i := range ix.tiles {
-		t := &ix.tiles[i]
-		if t.dec != nil {
-			continue
+		if t := &ix.tiles[i]; t.dec == nil {
+			t.dec = buildDecTile(t)
 		}
-		d := &decTile{}
-		for c := ClassA; c <= ClassD; c++ {
-			entries := t.classes[c]
-			if len(entries) == 0 {
-				continue
-			}
-			if c == ClassA || c == ClassB {
-				d.cls[c].xl = buildTable(entries, func(e *spatial.Entry) float64 { return e.Rect.MinX })
-			}
-			d.cls[c].xu = buildTable(entries, func(e *spatial.Entry) float64 { return e.Rect.MaxX })
-			if c == ClassA || c == ClassC {
-				d.cls[c].yl = buildTable(entries, func(e *spatial.Entry) float64 { return e.Rect.MinY })
-			}
-			d.cls[c].yu = buildTable(entries, func(e *spatial.Entry) float64 { return e.Rect.MaxY })
-		}
-		t.dec = d
 	}
 }
 

@@ -3,7 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
 
 	"github.com/twolayer/twolayer/internal/spatial"
 )
@@ -140,7 +140,16 @@ func nestedJoin(rs, ss []spatial.Entry, fn func(r, s spatial.Entry)) {
 func sortByMinX(entries []spatial.Entry) []spatial.Entry {
 	out := make([]spatial.Entry, len(entries))
 	copy(out, entries)
-	sort.Slice(out, func(i, j int) bool { return out[i].Rect.MinX < out[j].Rect.MinX })
+	slices.SortFunc(out, func(a, b spatial.Entry) int {
+		switch {
+		case a.Rect.MinX < b.Rect.MinX:
+			return -1
+		case a.Rect.MinX > b.Rect.MinX:
+			return 1
+		default:
+			return 0
+		}
+	})
 	return out
 }
 

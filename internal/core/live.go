@@ -31,7 +31,9 @@ import (
 // recommends batch maintenance of the decomposed tables; Live follows
 // that advice by re-running BuildDecomposed every RebuildEvery mutations
 // on 2-layer+ indices, inside the apply loop, so rebuilds never block
-// readers either.
+// readers either. The rebuilds follow Options.BuildThreads: with more
+// than one worker resolved, stale tiles are redecomposed by a worker
+// pool instead of a single sequential sweep.
 
 // ErrLiveClosed is returned for mutations submitted after Close.
 var ErrLiveClosed = errors.New("core: live index is closed")
@@ -49,7 +51,8 @@ type LiveOptions struct {
 	// RebuildEvery re-runs BuildDecomposed after this many applied
 	// mutations on indices built with Decompose, restoring the 2-layer+
 	// binary-search path for tiles dirtied by updates. 0 means the
-	// default of 4096; negative disables rebuilding.
+	// default of 4096; negative disables rebuilding. Rebuilds run with
+	// the parallelism of the index's Options.BuildThreads.
 	RebuildEvery int
 	// Journal, when non-nil, is called from the apply loop with every
 	// batch before it is applied or published: epoch is the epoch the

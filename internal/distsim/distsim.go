@@ -21,9 +21,10 @@ package distsim
 
 import (
 	"bytes"
+	"cmp"
 	"encoding/gob"
 	"fmt"
-	"sort"
+	"slices"
 	"sync"
 	"time"
 
@@ -190,8 +191,8 @@ func buildLocal(d *spatial.Dataset, opts Options) localIndex {
 }
 
 func sortByCenterX(entries []spatial.Entry) {
-	sort.Slice(entries, func(i, j int) bool {
-		return entries[i].Rect.Center().X < entries[j].Rect.Center().X
+	slices.SortFunc(entries, func(a, b spatial.Entry) int {
+		return cmp.Compare(a.Rect.Center().X, b.Rect.Center().X)
 	})
 }
 

@@ -1,7 +1,8 @@
 package rtree
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 
 	"github.com/twolayer/twolayer/internal/geom"
 	"github.com/twolayer/twolayer/internal/spatial"
@@ -154,8 +155,8 @@ func (ix *Index) forcedReinsert(n *node, depth int) {
 		k = 1
 	}
 	if n.leaf {
-		sort.Slice(n.entries, func(i, j int) bool {
-			return n.entries[i].Rect.Center().DistSq(center) > n.entries[j].Rect.Center().DistSq(center)
+		slices.SortFunc(n.entries, func(a, b spatial.Entry) int {
+			return cmp.Compare(b.Rect.Center().DistSq(center), a.Rect.Center().DistSq(center))
 		})
 		orphans := append([]spatial.Entry(nil), n.entries[:k]...)
 		n.entries = n.entries[k:]
@@ -165,8 +166,8 @@ func (ix *Index) forcedReinsert(n *node, depth int) {
 		}
 		return
 	}
-	sort.Slice(n.children, func(i, j int) bool {
-		return n.children[i].mbr.Center().DistSq(center) > n.children[j].mbr.Center().DistSq(center)
+	slices.SortFunc(n.children, func(a, b *node) int {
+		return cmp.Compare(b.mbr.Center().DistSq(center), a.mbr.Center().DistSq(center))
 	})
 	orphans := append([]*node(nil), n.children[:k]...)
 	n.children = n.children[k:]
@@ -266,18 +267,18 @@ func (ix *Index) split(n *node) *node {
 // sortItems orders items by (lower, upper) on the given axis, the order
 // the R* split enumerates distributions in.
 func sortItems(items []splitItem, axis int) {
-	sort.Slice(items, func(i, j int) bool {
-		a, b := items[i].rect, items[j].rect
+	slices.SortFunc(items, func(x, y splitItem) int {
+		a, b := x.rect, y.rect
 		if axis == 0 {
-			if a.MinX != b.MinX {
-				return a.MinX < b.MinX
+			if c := cmp.Compare(a.MinX, b.MinX); c != 0 {
+				return c
 			}
-			return a.MaxX < b.MaxX
+			return cmp.Compare(a.MaxX, b.MaxX)
 		}
-		if a.MinY != b.MinY {
-			return a.MinY < b.MinY
+		if c := cmp.Compare(a.MinY, b.MinY); c != 0 {
+			return c
 		}
-		return a.MaxY < b.MaxY
+		return cmp.Compare(a.MaxY, b.MaxY)
 	})
 }
 

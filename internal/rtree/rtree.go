@@ -9,9 +9,10 @@
 package rtree
 
 import (
+	"cmp"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"github.com/twolayer/twolayer/internal/geom"
 	"github.com/twolayer/twolayer/internal/spatial"
@@ -130,8 +131,8 @@ func BulkSTR(d *spatial.Dataset, opts Options) *Index {
 func packLeaves(entries []spatial.Entry, m int) []*node {
 	p := (len(entries) + m - 1) / m
 	s := int(math.Ceil(math.Sqrt(float64(p))))
-	sort.Slice(entries, func(i, j int) bool {
-		return entries[i].Rect.Center().X < entries[j].Rect.Center().X
+	slices.SortFunc(entries, func(a, b spatial.Entry) int {
+		return cmp.Compare(a.Rect.Center().X, b.Rect.Center().X)
 	})
 	var leaves []*node
 	slab := s * m
@@ -141,8 +142,8 @@ func packLeaves(entries []spatial.Entry, m int) []*node {
 			hi = len(entries)
 		}
 		run := entries[i:hi]
-		sort.Slice(run, func(a, b int) bool {
-			return run[a].Rect.Center().Y < run[b].Rect.Center().Y
+		slices.SortFunc(run, func(a, b spatial.Entry) int {
+			return cmp.Compare(a.Rect.Center().Y, b.Rect.Center().Y)
 		})
 		for j := 0; j < len(run); j += m {
 			k := j + m
@@ -161,8 +162,8 @@ func packLeaves(entries []spatial.Entry, m int) []*node {
 func packNodes(nodes []*node, m int) []*node {
 	p := (len(nodes) + m - 1) / m
 	s := int(math.Ceil(math.Sqrt(float64(p))))
-	sort.Slice(nodes, func(i, j int) bool {
-		return nodes[i].mbr.Center().X < nodes[j].mbr.Center().X
+	slices.SortFunc(nodes, func(a, b *node) int {
+		return cmp.Compare(a.mbr.Center().X, b.mbr.Center().X)
 	})
 	var parents []*node
 	slab := s * m
@@ -172,8 +173,8 @@ func packNodes(nodes []*node, m int) []*node {
 			hi = len(nodes)
 		}
 		run := nodes[i:hi]
-		sort.Slice(run, func(a, b int) bool {
-			return run[a].mbr.Center().Y < run[b].mbr.Center().Y
+		slices.SortFunc(run, func(a, b *node) int {
+			return cmp.Compare(a.mbr.Center().Y, b.mbr.Center().Y)
 		})
 		for j := 0; j < len(run); j += m {
 			k := j + m

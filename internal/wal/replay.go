@@ -14,7 +14,7 @@ import (
 	"math"
 	"os"
 	"path/filepath"
-	"sort"
+	"slices"
 	"strconv"
 	"strings"
 
@@ -212,8 +212,18 @@ func listState(dir string) (ckpts, segs []segmentMeta, err error) {
 			segs = append(segs, m)
 		}
 	}
-	sort.Slice(ckpts, func(i, j int) bool { return ckpts[i].first < ckpts[j].first })
-	sort.Slice(segs, func(i, j int) bool { return segs[i].first < segs[j].first })
+	byEpoch := func(a, b segmentMeta) int {
+		switch {
+		case a.first < b.first:
+			return -1
+		case a.first > b.first:
+			return 1
+		default:
+			return 0
+		}
+	}
+	slices.SortFunc(ckpts, byEpoch)
+	slices.SortFunc(segs, byEpoch)
 	return ckpts, segs, nil
 }
 
@@ -273,6 +283,10 @@ func Recover(dir string, opts core.Options, logger *slog.Logger) (*core.Index, [
 				err = fmt.Errorf("checkpoint epoch %d does not match file name", loaded.Epoch())
 			}
 			if err == nil {
+				// Snapshots do not persist build parallelism; re-apply the
+				// configured value so the post-checkpoint decomposed rebuild
+				// (and later Live rebuilds) use it.
+				loaded.SetBuildThreads(opts.BuildThreads)
 				ix = loaded
 				info.CheckpointEpoch = loaded.Epoch()
 				info.CheckpointLoaded = true

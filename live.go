@@ -23,7 +23,9 @@ type LiveOptions struct {
 	QueueDepth int
 	// RebuildEvery re-runs the 2-layer+ decomposed-table build after this
 	// many applied mutations on indices built with Options.Decompose.
-	// 0 means the default of 4096; negative disables rebuilding.
+	// 0 means the default of 4096; negative disables rebuilding. The
+	// rebuilds honor Options.BuildThreads, so a multi-core server can
+	// redecompose large indices in parallel inside the apply loop.
 	RebuildEvery int
 }
 
