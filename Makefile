@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: check build fmt-check vet test test-race race-hot bench bench-build bench-json fuzz-short experiments
+.PHONY: check build fmt-check vet test test-race race-hot bench bench-build bench-json fuzz-short experiments docs-check
 
-check: build fmt-check vet test-race
+check: build fmt-check vet test-race docs-check
 
 build:
 	$(GO) build ./...
@@ -19,6 +19,12 @@ fmt-check:
 
 vet:
 	$(GO) vet ./...
+
+# Documentation gates: every registered /metrics family must be
+# documented in docs/OBSERVABILITY.md, and relative markdown links in
+# README.md and docs/ must resolve (see cmd/docscheck).
+docs-check:
+	$(GO) run ./cmd/docscheck
 
 # Tier-1 test run (what the paper-reproduction harness requires).
 test:

@@ -45,8 +45,9 @@ func fail(err error) {
 }
 
 // loadIndex builds the index from -data (CSV or WKT, with exact
-// geometries) or loads a -snapshot (MBR-only).
-func loadIndex(dataPath, snapshotPath string, gridSize int, decompose bool, logger *slog.Logger) *twolayer.Index {
+// geometries) or loads a -snapshot (MBR-only). The returned duration is
+// the build/load wall time, exported as twolayer_index_build_seconds.
+func loadIndex(dataPath, snapshotPath string, gridSize int, decompose bool, logger *slog.Logger) (*twolayer.Index, time.Duration) {
 	switch {
 	case dataPath != "" && snapshotPath != "":
 		fail(fmt.Errorf("-data and -snapshot are mutually exclusive"))
@@ -72,13 +73,14 @@ func loadIndex(dataPath, snapshotPath string, gridSize int, decompose bool, logg
 		}
 		start := time.Now()
 		idx := twolayer.BuildGeoms(geoms, twolayer.Options{GridSize: gridSize, Decompose: decompose})
+		elapsed := time.Since(start)
 		nx, ny := idx.GridDims()
 		logger.Info("index built",
 			"objects", idx.Len(),
 			"grid", fmt.Sprintf("%dx%d", nx, ny),
 			"replication", fmt.Sprintf("%.3f", idx.ReplicationFactor()),
-			"elapsed", time.Since(start).Round(time.Millisecond))
-		return idx
+			"elapsed", elapsed.Round(time.Millisecond))
+		return idx, elapsed
 	case snapshotPath != "":
 		f, err := os.Open(snapshotPath)
 		if err != nil {
@@ -90,10 +92,11 @@ func loadIndex(dataPath, snapshotPath string, gridSize int, decompose bool, logg
 		if err != nil {
 			fail(fmt.Errorf("%s: %w", snapshotPath, err))
 		}
+		elapsed := time.Since(start)
 		logger.Info("snapshot loaded",
 			"objects", idx.Len(),
-			"elapsed", time.Since(start).Round(time.Millisecond))
-		return idx
+			"elapsed", elapsed.Round(time.Millisecond))
+		return idx, elapsed
 	}
 	fail(fmt.Errorf("one of -data or -snapshot is required"))
 	panic("unreachable")
@@ -117,6 +120,8 @@ func main() {
 	timeout := flag.Duration("timeout", server.DefaultRequestTimeout, "per-request evaluation deadline")
 	maxBody := flag.Int64("max-body", server.DefaultMaxBodyBytes, "maximum request body size in bytes")
 	stats := flag.Bool("stats", true, "aggregate per-query core counters for GET /stats")
+	trace := flag.Bool("trace", false, "attach a per-stage trace to every single-query response (clients can also opt in per request)")
+	slowQueryMS := flag.Int("slow-query-ms", 0, "log single queries slower than this many milliseconds, with their trace (0 = off)")
 	live := flag.Bool("live", false, "serve in live mode: accept updates on POST /insert, /delete, /bulk (disables exact-geometry queries)")
 	rebuildEvery := flag.Int("rebuild-every", 0, "live mode: re-run the decomposed build after this many mutations (0 = default, negative = never)")
 	dataDir := flag.String("data-dir", "", "durable live mode: directory for the write-ahead log and checkpoints; implies -live, recovers automatically on startup")
@@ -134,12 +139,17 @@ func main() {
 	}
 	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
+	if *slowQueryMS < 0 {
+		fail(fmt.Errorf("-slow-query-ms must be >= 0"))
+	}
+
 	durable := *dataDir != ""
 	var idx *twolayer.Index
+	var buildDur time.Duration
 	if !durable || *dataPath != "" || *snapshotPath != "" {
 		// In durable mode a data source is only a seed for an empty
 		// -data-dir; a dir with prior state recovers instead.
-		idx = loadIndex(*dataPath, *snapshotPath, *gridSize, *decompose, logger)
+		idx, buildDur = loadIndex(*dataPath, *snapshotPath, *gridSize, *decompose, logger)
 	}
 	if *savePath != "" {
 		if *dataPath == "" {
@@ -160,11 +170,14 @@ func main() {
 	}
 
 	cfg := server.Config{
-		Logger:         logger,
-		RequestTimeout: *timeout,
-		MaxBodyBytes:   *maxBody,
-		CollectStats:   *stats,
-		EnablePprof:    *pprofFlag,
+		Logger:             logger,
+		RequestTimeout:     *timeout,
+		MaxBodyBytes:       *maxBody,
+		CollectStats:       *stats,
+		EnableTracing:      *trace,
+		SlowQueryThreshold: time.Duration(*slowQueryMS) * time.Millisecond,
+		BuildDuration:      buildDur,
+		EnablePprof:        *pprofFlag,
 	}
 	switch {
 	case durable:
@@ -215,7 +228,8 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
-	logger.Info("serving", "addr", *addr, "pprof", *pprofFlag, "stats", *stats, "live", *live, "timeout", *timeout)
+	logger.Info("serving", "addr", *addr, "pprof", *pprofFlag, "stats", *stats,
+		"trace", *trace, "slow_query_ms", *slowQueryMS, "live", *live, "timeout", *timeout)
 	if err := srv.ListenAndServe(ctx, *addr); err != nil {
 		fail(err)
 	}

@@ -1,0 +1,50 @@
+// Package twolayer is an in-memory spatial index for non-point objects
+// (rectangles, polygons, linestrings), implementing the two-layer
+// partitioning of Tsitsigkos et al., "A Two-layer Partitioning for
+// Non-point Spatial Data" (ICDE 2021).
+//
+// The index is a regular grid whose tiles are secondarily partitioned
+// into four object classes. Range queries read, per tile, only the
+// classes that cannot produce duplicate results, so — unlike classic
+// replicating grid indices — no duplicate is ever generated or
+// eliminated, and border tiles need at most one coordinate comparison per
+// object and dimension. An optional decomposed storage mode ("2-layer+")
+// answers border tiles with binary searches on sorted coordinate tables.
+//
+// # Quick start
+//
+//	objects := []twolayer.Rect{
+//		{MinX: 0.1, MinY: 0.1, MaxX: 0.2, MaxY: 0.2},
+//		{MinX: 0.5, MinY: 0.4, MaxX: 0.8, MaxY: 0.6},
+//	}
+//	idx := twolayer.BuildRects(objects, twolayer.Options{GridSize: 64})
+//	idx.Window(twolayer.Rect{MinX: 0, MinY: 0, MaxX: 0.5, MaxY: 0.5},
+//		func(id uint32, mbr twolayer.Rect) { fmt.Println(id, mbr) })
+//
+// Exact (non-rectangular) geometries are supported through BuildGeoms;
+// window and disk queries over them use a secondary filter that skips the
+// expensive refinement step for most results. Batches of queries can be
+// evaluated with cache-conscious tile-at-a-time processing, serially or
+// on all cores.
+//
+// # Observability
+//
+// Three concurrency-safe instruments expose what the index is doing,
+// none of which slow down uninstrumented queries:
+//
+//   - [Index.Instrumented] returns a read view whose queries count the
+//     work they perform (tiles visited, comparisons, duplicates avoided,
+//     Lemma 5 filter hits, …) into a private [Stats]. Merge finished
+//     views into a shared [AtomicStats] to aggregate across goroutines.
+//   - [Index.Traced] additionally records per-stage wall-clock timings
+//     (filtering vs. exact-geometry refinement) into a [Trace] — the
+//     building block for per-query tracing and slow-query logs.
+//   - [Index.PartitionStats] summarizes the partitioning itself:
+//     occupied tiles, per-class entry counts, replication factor, and
+//     tile-occupancy skew.
+//
+// See ExampleIndex_Traced and ExampleAtomicStats for the intended
+// hookup, and docs/OBSERVABILITY.md in the repository for how the
+// bundled server turns these into Prometheus metrics and request
+// traces.
+package twolayer

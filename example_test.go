@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"fmt"
 	"sort"
+	"sync"
+	"time"
 
 	twolayer "github.com/twolayer/twolayer"
 )
@@ -124,4 +126,56 @@ func ExampleIndex_Save() {
 	}
 	fmt.Println(loaded.WindowCount(twolayer.Rect{MaxX: 1, MaxY: 1}))
 	// Output: 1
+}
+
+// Per-query tracing: a traced view records counters plus stage timings
+// into a private Trace — the building block for slow-query logs.
+func ExampleIndex_Traced() {
+	idx := twolayer.BuildRects([]twolayer.Rect{
+		{MinX: 0.10, MinY: 0.10, MaxX: 0.20, MaxY: 0.20},
+		{MinX: 0.50, MinY: 0.40, MaxX: 0.80, MaxY: 0.60},
+	}, twolayer.Options{GridSize: 8})
+
+	view, tr := idx.Traced()
+	tr.Kind = "window"
+	start := time.Now()
+	n := view.WindowCount(twolayer.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1})
+	tr.Finish(start)
+
+	fmt.Println(tr.Kind, "results:", n)
+	fmt.Println("counted work:", tr.TilesVisited > 0, tr.EntriesScanned > 0)
+	fmt.Println("timed:", tr.Elapsed() > 0)
+	// Output:
+	// window results: 2
+	// counted work: true true
+	// timed: true
+}
+
+// Metrics hookup: concurrent instrumented views merge into one shared
+// AtomicStats, which a metrics scraper snapshots without locks.
+func ExampleAtomicStats() {
+	idx := twolayer.BuildRects([]twolayer.Rect{
+		{MinX: 0.10, MinY: 0.10, MaxX: 0.20, MaxY: 0.20},
+		{MinX: 0.50, MinY: 0.40, MaxX: 0.80, MaxY: 0.60},
+	}, twolayer.Options{GridSize: 8})
+
+	var agg twolayer.AtomicStats
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			view, stats := idx.Instrumented()
+			view.WindowCount(twolayer.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1})
+			agg.Observe(stats) // one merge per finished query
+		}()
+	}
+	wg.Wait()
+
+	snap := agg.Snapshot() // what a /metrics scrape reads
+	fmt.Println("queries:", agg.Queries())
+	fmt.Println("results:", snap.Results)
+	// Output:
+	// queries: 4
+	// results: 8
 }

@@ -190,6 +190,12 @@ type Index struct {
 	// Index makes queries unsafe for concurrent use; for concurrent
 	// collection attach a private Stats to each View instead.
 	Stats *Stats
+
+	// trace, when non-nil, extends Stats collection with per-query stage
+	// timings. It is only ever set on private views (ViewTraced) and
+	// always aliases the Trace whose embedded Stats this index's Stats
+	// field points to.
+	trace *Trace
 }
 
 // View returns a shallow read view of the index: it shares all partition
@@ -205,6 +211,7 @@ func (ix *Index) View(s *Stats) *Index {
 	cp := *ix
 	cp.knn = nil // detach shared kNN scratch; the view grows its own
 	cp.Stats = s
+	cp.trace = nil
 	return &cp
 }
 
@@ -246,6 +253,7 @@ func (ix *Index) CloneCOW() *Index {
 	cp.sharedDir = true
 	cp.knn = nil
 	cp.Stats = nil
+	cp.trace = nil
 	return &cp
 }
 

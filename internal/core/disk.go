@@ -189,6 +189,7 @@ func (ix *Index) diskOnTile(t *tile, tx, ty int, dc *diskCover, center geom.Poin
 		if ix.Stats != nil && len(entries) > 0 {
 			ix.Stats.PartitionsScanned++
 			ix.Stats.EntriesScanned += int64(len(entries))
+			ix.Stats.ClassScanned[c] += int64(len(entries))
 		}
 		for i := range entries {
 			emit(c, &entries[i])

@@ -54,6 +54,27 @@ var joinCombos = [...][2]Class{
 // supported (build a second index over the same data instead).
 func (ix *Index) Join(other *Index, fn func(r, s spatial.Entry)) {
 	checkJoinable(ix, other)
+	if s := ix.Stats; s != nil {
+		// Instrumented path: count common tiles and reported pairs. The
+		// receiver's Stats governs, matching the exclusive-mode convention.
+		inner := fn
+		fn = func(r, e spatial.Entry) {
+			s.Results++
+			inner(r, e)
+		}
+		for slot := range ix.tiles {
+			tR := &ix.tiles[slot]
+			tid := ix.tileIDs[slot]
+			tx, ty := ix.g.TileCoords(int(tid))
+			tS := other.tileAt(tx, ty)
+			if tS == nil {
+				continue
+			}
+			s.TilesVisited++
+			joinTile(tR, tS, fn)
+		}
+		return
+	}
 	// Drive from the smaller tile set.
 	for slot := range ix.tiles {
 		tR := &ix.tiles[slot]

@@ -3,6 +3,7 @@ package core
 import (
 	"container/heap"
 	"math"
+	"time"
 
 	"github.com/twolayer/twolayer/internal/geom"
 	"github.com/twolayer/twolayer/internal/spatial"
@@ -79,11 +80,23 @@ func (ix *Index) KNN(q geom.Point, k int) []Neighbor {
 	kth := math.Inf(1)
 
 	consider := func(t *tile) {
+		s := ix.Stats
+		if s != nil {
+			s.TilesVisited++
+		}
 		for c := ClassA; c <= ClassD; c++ {
+			if s != nil && len(t.classes[c]) > 0 {
+				s.PartitionsScanned++
+				s.EntriesScanned += int64(len(t.classes[c]))
+				s.ClassScanned[c] += int64(len(t.classes[c]))
+			}
 			for i := range t.classes[c] {
 				e := &t.classes[c][i]
 				if ix.knn.markSeen(e.ID) {
 					continue
+				}
+				if s != nil {
+					s.DistanceComputations++
 				}
 				d2 := e.Rect.DistSqToPoint(q)
 				if len(best) < k {
@@ -122,6 +135,9 @@ func (ix *Index) KNN(q geom.Point, k int) []Neighbor {
 		n.Dist = math.Sqrt(n.Dist)
 		out[i] = n
 	}
+	if ix.Stats != nil {
+		ix.Stats.Results += int64(len(out))
+	}
 	return out
 }
 
@@ -151,16 +167,38 @@ func (ix *Index) KNNExact(q geom.Point, k int) []Neighbor {
 	kth := math.Inf(1)
 
 	consider := func(t *tile) {
+		s := ix.Stats
+		if s != nil {
+			s.TilesVisited++
+		}
 		for c := ClassA; c <= ClassD; c++ {
+			if s != nil && len(t.classes[c]) > 0 {
+				s.PartitionsScanned++
+				s.EntriesScanned += int64(len(t.classes[c]))
+				s.ClassScanned[c] += int64(len(t.classes[c]))
+			}
 			for i := range t.classes[c] {
 				e := &t.classes[c][i]
 				if ix.knn.markSeen(e.ID) {
 					continue
 				}
+				if s != nil {
+					s.DistanceComputations++
+				}
 				if len(best) == k && e.Rect.DistSqToPoint(q) > kth {
 					continue // MBR lower bound prunes the geometry test
 				}
-				d2 := exactDistSq(ix.dataset.Geom(e.ID), q)
+				if s != nil {
+					s.RefinementTests++
+				}
+				var d2 float64
+				if tr := ix.trace; tr != nil {
+					t0 := time.Now()
+					d2 = exactDistSq(ix.dataset.Geom(e.ID), q)
+					tr.RefineNS += time.Since(t0).Nanoseconds()
+				} else {
+					d2 = exactDistSq(ix.dataset.Geom(e.ID), q)
+				}
 				if len(best) < k {
 					heap.Push(&best, Neighbor{ID: e.ID, Dist: d2})
 					if len(best) == k {
@@ -192,6 +230,9 @@ func (ix *Index) KNNExact(q geom.Point, k int) []Neighbor {
 		n := heap.Pop(&best).(Neighbor)
 		n.Dist = math.Sqrt(n.Dist)
 		out[i] = n
+	}
+	if ix.Stats != nil {
+		ix.Stats.Results += int64(len(out))
 	}
 	return out
 }

@@ -114,6 +114,11 @@ type LiveStats struct {
 	Rebuilds    uint64        // decomposed-table rebuilds performed
 	LastBatch   int64         // mutations in the most recent publish
 	LastPublish time.Duration // wall time of the most recent publish
+	// PublishTotal is the cumulative wall time spent in publish (journal
+	// write, copy-on-write apply, rebuild, snapshot swap) since NewLive;
+	// together with Publishes it yields a mean publish latency, and as a
+	// monotone counter it rates cleanly in monitoring systems.
+	PublishTotal time.Duration
 }
 
 // Live is an updatable two-layer index serving lock-free reads: Snapshot
@@ -136,6 +141,7 @@ type Live struct {
 	rebuilds      atomic.Uint64
 	lastBatch     atomic.Int64
 	lastPublishNS atomic.Int64
+	publishNS     atomic.Int64
 }
 
 // NewLive wraps ix, which becomes epoch-0 snapshot of the Live index.
@@ -147,6 +153,7 @@ type Live struct {
 func NewLive(ix *Index, opt LiveOptions) *Live {
 	ix.dataset = nil
 	ix.Stats = nil
+	ix.trace = nil
 	ix.knn = nil
 	l := &Live{
 		opt: opt.withDefaults(),
@@ -222,14 +229,15 @@ func (l *Live) Apply(muts []Mutation) (ApplyResult, error) {
 func (l *Live) Stats() LiveStats {
 	s := l.Snapshot()
 	return LiveStats{
-		Epoch:       s.epoch,
-		Objects:     s.size,
-		Pending:     l.pending.Load(),
-		Applied:     l.applied.Load(),
-		Publishes:   l.publishes.Load(),
-		Rebuilds:    l.rebuilds.Load(),
-		LastBatch:   l.lastBatch.Load(),
-		LastPublish: time.Duration(l.lastPublishNS.Load()),
+		Epoch:        s.epoch,
+		Objects:      s.size,
+		Pending:      l.pending.Load(),
+		Applied:      l.applied.Load(),
+		Publishes:    l.publishes.Load(),
+		Rebuilds:     l.rebuilds.Load(),
+		LastBatch:    l.lastBatch.Load(),
+		LastPublish:  time.Duration(l.lastPublishNS.Load()),
+		PublishTotal: time.Duration(l.publishNS.Load()),
 	}
 }
 
@@ -331,7 +339,9 @@ func (l *Live) publish(batch []applyReq, n int, rebuild bool) {
 	l.applied.Add(uint64(n))
 	l.publishes.Add(1)
 	l.lastBatch.Store(int64(n))
-	l.lastPublishNS.Store(time.Since(start).Nanoseconds())
+	elapsed := time.Since(start).Nanoseconds()
+	l.lastPublishNS.Store(elapsed)
+	l.publishNS.Add(elapsed)
 	l.pending.Add(-int64(n))
 	for bi, req := range batch {
 		req.done <- applyAck{res: ApplyResult{Epoch: next.epoch, Found: found[bi]}}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"time"
+
 	"github.com/twolayer/twolayer/internal/geom"
 	"github.com/twolayer/twolayer/internal/spatial"
 )
@@ -108,6 +110,17 @@ func (ix *Index) windowVerifier(c Class, w geom.Rect, mode RefineMode, knownXLow
 		if s != nil {
 			s.RefinementTests++
 		}
+		if tr := ix.trace; tr != nil {
+			// Traced path: attribute the exact geometry test's wall time to
+			// the refinement stage.
+			t0 := time.Now()
+			hit := ix.dataset.Geom(e.ID).IntersectsRect(w)
+			tr.RefineNS += time.Since(t0).Nanoseconds()
+			if hit {
+				fn(e.ID)
+			}
+			return
+		}
 		if ix.dataset.Geom(e.ID).IntersectsRect(w) {
 			fn(e.ID)
 		}
@@ -196,6 +209,15 @@ func (ix *Index) DiskExact(center geom.Point, radius float64, mode RefineMode, f
 		}
 		if s != nil {
 			s.RefinementTests++
+		}
+		if tr := ix.trace; tr != nil {
+			t0 := time.Now()
+			hit := ix.dataset.Geom(e.ID).IntersectsDisk(center, radius)
+			tr.RefineNS += time.Since(t0).Nanoseconds()
+			if hit {
+				fn(e.ID)
+			}
+			return
 		}
 		if ix.dataset.Geom(e.ID).IntersectsDisk(center, radius) {
 			fn(e.ID)

@@ -142,6 +142,7 @@ func (ix *Index) regionOnTile(t *tile, tx, ty int, rc *regionCover, region Regio
 		if ix.Stats != nil && len(entries) > 0 {
 			ix.Stats.PartitionsScanned++
 			ix.Stats.EntriesScanned += int64(len(entries))
+			ix.Stats.ClassScanned[c] += int64(len(entries))
 		}
 		for i := range entries {
 			emit(c, &entries[i])

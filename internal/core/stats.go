@@ -27,6 +27,13 @@ type Stats struct {
 	PartitionsScanned int64
 	// EntriesScanned counts entries inspected in scanned partitions.
 	EntriesScanned int64
+	// ClassScanned counts, per secondary class (A, B, C, D), the entries
+	// held by the partitions selected for scanning — the per-class work
+	// breakdown of the Lemma 1-2 class selection. On the plain scan path
+	// the four counters sum to EntriesScanned; on the decomposed
+	// (2-layer+) path EntriesScanned may be lower, because binary searches
+	// report coordinate ranges without touching every entry.
+	ClassScanned [4]int64
 	// Comparisons counts coordinate comparisons executed during the
 	// filtering step (the quantity Lemmas 3-4 minimize).
 	Comparisons int64
@@ -59,6 +66,9 @@ func (s *Stats) Add(o *Stats) {
 	s.TilesVisited += o.TilesVisited
 	s.PartitionsScanned += o.PartitionsScanned
 	s.EntriesScanned += o.EntriesScanned
+	for c := range s.ClassScanned {
+		s.ClassScanned[c] += o.ClassScanned[c]
+	}
 	s.Comparisons += o.Comparisons
 	s.Results += o.Results
 	s.DuplicatesAvoided += o.DuplicatesAvoided
@@ -79,6 +89,7 @@ type AtomicStats struct {
 	tilesVisited      atomic.Int64
 	partitionsScanned atomic.Int64
 	entriesScanned    atomic.Int64
+	classScanned      [4]atomic.Int64
 	comparisons       atomic.Int64
 	results           atomic.Int64
 	duplicatesAvoided atomic.Int64
@@ -97,6 +108,9 @@ func (a *AtomicStats) Observe(s *Stats) {
 	a.tilesVisited.Add(s.TilesVisited)
 	a.partitionsScanned.Add(s.PartitionsScanned)
 	a.entriesScanned.Add(s.EntriesScanned)
+	for c := range s.ClassScanned {
+		a.classScanned[c].Add(s.ClassScanned[c])
+	}
 	a.comparisons.Add(s.Comparisons)
 	a.results.Add(s.Results)
 	a.duplicatesAvoided.Add(s.DuplicatesAvoided)
@@ -115,10 +129,15 @@ func (a *AtomicStats) Queries() int64 { return a.queries.Load() }
 // a single atomic cut across counters (concurrent Observe calls may be
 // partially included), which is fine for monitoring.
 func (a *AtomicStats) Snapshot() Stats {
+	var cls [4]int64
+	for c := range cls {
+		cls[c] = a.classScanned[c].Load()
+	}
 	return Stats{
 		TilesVisited:         a.tilesVisited.Load(),
 		PartitionsScanned:    a.partitionsScanned.Load(),
 		EntriesScanned:       a.entriesScanned.Load(),
+		ClassScanned:         cls,
 		Comparisons:          a.comparisons.Load(),
 		Results:              a.results.Load(),
 		DuplicatesAvoided:    a.duplicatesAvoided.Load(),

@@ -102,13 +102,20 @@ func (ix *Index) windowOnTile(t *tile, tx, ty, qx0, qy0 int, w geom.Rect, fn fun
 
 	if ix.Stats != nil {
 		ix.Stats.TilesVisited++
-		if !first {
-			ix.Stats.DuplicatesAvoided += int64(len(t.classes[ClassC]))
-		}
-		if !top {
+		ix.Stats.ClassScanned[ClassA] += int64(len(t.classes[ClassA]))
+		if top {
+			ix.Stats.ClassScanned[ClassB] += int64(len(t.classes[ClassB]))
+		} else {
 			ix.Stats.DuplicatesAvoided += int64(len(t.classes[ClassB]))
 		}
-		if !first || !top {
+		if first {
+			ix.Stats.ClassScanned[ClassC] += int64(len(t.classes[ClassC]))
+		} else {
+			ix.Stats.DuplicatesAvoided += int64(len(t.classes[ClassC]))
+		}
+		if first && top {
+			ix.Stats.ClassScanned[ClassD] += int64(len(t.classes[ClassD]))
+		} else {
 			ix.Stats.DuplicatesAvoided += int64(len(t.classes[ClassD]))
 		}
 	}

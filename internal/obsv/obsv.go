@@ -1,0 +1,555 @@
+// Package obsv is a small, dependency-free metrics registry exposing
+// counters, gauges, and histograms in the Prometheus text exposition
+// format (version 0.0.4).
+//
+// It exists so the serving layer can publish engine metrics — query
+// latencies, live-index publish rates, WAL fsync latencies, partition
+// statistics — without pulling the Prometheus client library into a
+// repository that otherwise uses only the standard library.
+//
+// Instruments are registered once (typically at server construction) and
+// updated from hot paths with a single atomic operation; a scrape walks
+// the registry and renders every family in registration order, so the
+// output is stable and diffable. Callback instruments (CounterFunc,
+// GaugeFunc) are evaluated at scrape time, which is how point-in-time
+// engine state (epochs, segment counts, partition skew) is exposed
+// without any background sampling goroutine.
+//
+// Every metric name registered here must be documented in
+// docs/OBSERVABILITY.md; `make docs-check` enforces that.
+package obsv
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// atomicFloat is a float64 updated with atomic bit operations, so
+// instruments never lock on the update path.
+type atomicFloat struct{ bits atomic.Uint64 }
+
+func (f *atomicFloat) Add(v float64) {
+	for {
+		old := f.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if f.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) Set(v float64) { f.bits.Store(math.Float64bits(v)) }
+func (f *atomicFloat) Load() float64 { return math.Float64frombits(f.bits.Load()) }
+
+// series is one rendered line: a label set and a value source.
+type series interface {
+	labels() string // rendered {k="v",...} or ""
+	write(w io.Writer, name string) error
+}
+
+// family is one registered metric family: a name, HELP/TYPE metadata,
+// and its series (one per label set; exactly one for unlabeled
+// instruments).
+type family struct {
+	name string
+	help string
+	typ  string // "counter", "gauge", "histogram"
+
+	mu     sync.Mutex
+	series []series
+}
+
+func (f *family) add(s series) {
+	f.mu.Lock()
+	f.series = append(f.series, s)
+	f.mu.Unlock()
+}
+
+// snapshotSeries returns the family's series sorted by label string for
+// stable output. New series only ever get appended, so the copy is
+// consistent.
+func (f *family) snapshotSeries() []series {
+	f.mu.Lock()
+	out := make([]series, len(f.series))
+	copy(out, f.series)
+	f.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].labels() < out[j].labels() })
+	return out
+}
+
+// Registry holds metric families and renders them as Prometheus text.
+// All methods are safe for concurrent use; registration typically
+// happens once at startup and scrapes at any time after.
+type Registry struct {
+	mu     sync.Mutex
+	fams   []*family
+	byName map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+func (r *Registry) register(name, help, typ string) *family {
+	if !validName(name) {
+		panic(fmt.Sprintf("obsv: invalid metric name %q", name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byName[name]; dup {
+		panic(fmt.Sprintf("obsv: metric %q registered twice", name))
+	}
+	f := &family{name: name, help: help, typ: typ}
+	r.fams = append(r.fams, f)
+	r.byName[name] = f
+	return f
+}
+
+// Names returns every registered metric family name, in registration
+// order. Used by the documentation checker: each name must appear in
+// docs/OBSERVABILITY.md.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, len(r.fams))
+	for i, f := range r.fams {
+		out[i] = f.name
+	}
+	return out
+}
+
+func validName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// renderLabels formats a label set. Keys are given at Vec registration,
+// values at With time; both are rendered escaped.
+func renderLabels(keys, values []string) string {
+	if len(keys) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// formatValue renders a float the way Prometheus expects: integers
+// without an exponent, specials as +Inf/-Inf/NaN.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	case v == math.Trunc(v) && math.Abs(v) < 1e15:
+		return strconv.FormatInt(int64(v), 10)
+	default:
+		return strconv.FormatFloat(v, 'g', -1, 64)
+	}
+}
+
+// ---- counter --------------------------------------------------------------
+
+// Counter is a monotonically increasing value.
+type Counter struct {
+	val atomicFloat
+	lbl string
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.val.Add(1) }
+
+// Add increases the counter; negative deltas are a programming error and
+// ignored (counters are monotone by contract).
+func (c *Counter) Add(v float64) {
+	if v < 0 {
+		return
+	}
+	c.val.Add(v)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() float64 { return c.val.Load() }
+
+func (c *Counter) labels() string { return c.lbl }
+func (c *Counter) write(w io.Writer, name string) error {
+	_, err := fmt.Fprintf(w, "%s%s %s\n", name, c.lbl, formatValue(c.val.Load()))
+	return err
+}
+
+// Counter registers and returns an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	f := r.register(name, help, "counter")
+	c := &Counter{}
+	f.add(c)
+	return c
+}
+
+// CounterVec is a counter family keyed by one or more label values.
+type CounterVec struct {
+	fam  *family
+	keys []string
+	mu   sync.Mutex
+	kids map[string]*Counter
+}
+
+// CounterVec registers a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labelKeys ...string) *CounterVec {
+	f := r.register(name, help, "counter")
+	return &CounterVec{fam: f, keys: labelKeys, kids: make(map[string]*Counter)}
+}
+
+// With returns the counter for the given label values, creating it on
+// first use. The child is cached; hot paths should hold the returned
+// *Counter rather than calling With per update.
+func (v *CounterVec) With(labelValues ...string) *Counter {
+	if len(labelValues) != len(v.keys) {
+		panic(fmt.Sprintf("obsv: %s expects %d label values, got %d",
+			v.fam.name, len(v.keys), len(labelValues)))
+	}
+	lbl := renderLabels(v.keys, labelValues)
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if c, ok := v.kids[lbl]; ok {
+		return c
+	}
+	c := &Counter{lbl: lbl}
+	v.kids[lbl] = c
+	v.fam.add(c)
+	return c
+}
+
+// ---- gauge ----------------------------------------------------------------
+
+// Gauge is a value that can go up and down.
+type Gauge struct {
+	val atomicFloat
+	lbl string
+}
+
+// Set stores the value.
+func (g *Gauge) Set(v float64) { g.val.Set(v) }
+
+// Add adjusts the value by the (possibly negative) delta.
+func (g *Gauge) Add(v float64) { g.val.Add(v) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return g.val.Load() }
+
+func (g *Gauge) labels() string { return g.lbl }
+func (g *Gauge) write(w io.Writer, name string) error {
+	_, err := fmt.Fprintf(w, "%s%s %s\n", name, g.lbl, formatValue(g.val.Load()))
+	return err
+}
+
+// Gauge registers and returns an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	f := r.register(name, help, "gauge")
+	g := &Gauge{}
+	f.add(g)
+	return g
+}
+
+// funcSeries is a series whose value is computed at scrape time.
+type funcSeries struct {
+	fn  func() float64
+	lbl string
+}
+
+func (s *funcSeries) labels() string { return s.lbl }
+func (s *funcSeries) write(w io.Writer, name string) error {
+	_, err := fmt.Fprintf(w, "%s%s %s\n", name, s.lbl, formatValue(s.fn()))
+	return err
+}
+
+// GaugeFunc registers a gauge whose value is fn(), evaluated at every
+// scrape. This is how point-in-time engine state (snapshot epoch, log
+// segment counts, partition occupancy) is exposed without sampling.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	f := r.register(name, help, "gauge")
+	f.add(&funcSeries{fn: fn})
+}
+
+// CounterFunc registers a counter whose value is fn(), evaluated at
+// every scrape. fn must be monotone (it typically reads an engine-owned
+// cumulative counter, e.g. WAL fsyncs since open).
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	f := r.register(name, help, "counter")
+	f.add(&funcSeries{fn: fn})
+}
+
+// GaugeVecFunc registers a gauge family whose children are callbacks,
+// added with its Add method (label values + fn per child).
+type GaugeVecFunc struct {
+	fam  *family
+	keys []string
+}
+
+// GaugeVecFunc registers a labeled callback gauge family.
+func (r *Registry) GaugeVecFunc(name, help string, labelKeys ...string) *GaugeVecFunc {
+	f := r.register(name, help, "gauge")
+	return &GaugeVecFunc{fam: f, keys: labelKeys}
+}
+
+// Add registers one child evaluated at scrape time.
+func (v *GaugeVecFunc) Add(fn func() float64, labelValues ...string) {
+	if len(labelValues) != len(v.keys) {
+		panic(fmt.Sprintf("obsv: %s expects %d label values, got %d",
+			v.fam.name, len(v.keys), len(labelValues)))
+	}
+	v.fam.add(&funcSeries{fn: fn, lbl: renderLabels(v.keys, labelValues)})
+}
+
+// CounterVecFunc registers a counter family whose children are callbacks,
+// added with its Add method. Each fn must be monotone, like CounterFunc.
+type CounterVecFunc struct {
+	fam  *family
+	keys []string
+}
+
+// CounterVecFunc registers a labeled callback counter family.
+func (r *Registry) CounterVecFunc(name, help string, labelKeys ...string) *CounterVecFunc {
+	f := r.register(name, help, "counter")
+	return &CounterVecFunc{fam: f, keys: labelKeys}
+}
+
+// Add registers one child evaluated at scrape time.
+func (v *CounterVecFunc) Add(fn func() float64, labelValues ...string) {
+	if len(labelValues) != len(v.keys) {
+		panic(fmt.Sprintf("obsv: %s expects %d label values, got %d",
+			v.fam.name, len(v.keys), len(labelValues)))
+	}
+	v.fam.add(&funcSeries{fn: fn, lbl: renderLabels(v.keys, labelValues)})
+}
+
+// ---- histogram ------------------------------------------------------------
+
+// DefBuckets are latency-oriented default buckets in seconds, spanning
+// 50µs to 10s — the range from a cached single-tile lookup to a
+// pathological scan.
+var DefBuckets = []float64{
+	0.00005, 0.0001, 0.00025, 0.0005,
+	0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Histogram counts observations into cumulative buckets; rendered with
+// the standard _bucket/_sum/_count series.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // one per bound; +Inf is implicit via count
+	sum    atomicFloat
+	count  atomic.Uint64
+	lbl    string
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	// Linear scan: bucket lists are short and the common (fast-latency)
+	// case exits early.
+	for i, b := range h.bounds {
+		if v <= b {
+			h.counts[i].Add(1)
+			break
+		}
+	}
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// Count returns the number of observations recorded.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+func (h *Histogram) labels() string { return h.lbl }
+func (h *Histogram) write(w io.Writer, name string) error {
+	// Per-bucket counts are stored non-cumulative; exposition is
+	// cumulative per the format.
+	cum := uint64(0)
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		if err := h.writeBucket(w, name, formatValue(b), cum); err != nil {
+			return err
+		}
+	}
+	total := h.count.Load()
+	if err := h.writeBucket(w, name, "+Inf", total); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, h.lbl, formatValue(h.sum.Load())); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, h.lbl, total)
+	return err
+}
+
+func (h *Histogram) writeBucket(w io.Writer, name, le string, n uint64) error {
+	lbl := h.lbl
+	if lbl == "" {
+		lbl = fmt.Sprintf(`{le="%s"}`, le)
+	} else {
+		lbl = lbl[:len(lbl)-1] + fmt.Sprintf(`,le="%s"}`, le)
+	}
+	_, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, lbl, n)
+	return err
+}
+
+func newHistogram(bounds []float64, lbl string) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefBuckets
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("obsv: histogram buckets must be strictly increasing")
+		}
+	}
+	return &Histogram{
+		bounds: bounds,
+		counts: make([]atomic.Uint64, len(bounds)),
+		lbl:    lbl,
+	}
+}
+
+// Histogram registers an unlabeled histogram; nil buckets selects
+// DefBuckets.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	f := r.register(name, help, "histogram")
+	h := newHistogram(buckets, "")
+	f.add(h)
+	return h
+}
+
+// HistogramVec is a histogram family keyed by label values.
+type HistogramVec struct {
+	fam    *family
+	keys   []string
+	bounds []float64
+	mu     sync.Mutex
+	kids   map[string]*Histogram
+}
+
+// HistogramVec registers a labeled histogram family; nil buckets selects
+// DefBuckets.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labelKeys ...string) *HistogramVec {
+	f := r.register(name, help, "histogram")
+	return &HistogramVec{
+		fam: f, keys: labelKeys, bounds: buckets,
+		kids: make(map[string]*Histogram),
+	}
+}
+
+// With returns the histogram for the given label values, creating it on
+// first use. Hot paths should cache the child.
+func (v *HistogramVec) With(labelValues ...string) *Histogram {
+	if len(labelValues) != len(v.keys) {
+		panic(fmt.Sprintf("obsv: %s expects %d label values, got %d",
+			v.fam.name, len(v.keys), len(labelValues)))
+	}
+	lbl := renderLabels(v.keys, labelValues)
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if h, ok := v.kids[lbl]; ok {
+		return h
+	}
+	h := newHistogram(v.bounds, lbl)
+	v.kids[lbl] = h
+	v.fam.add(h)
+	return h
+}
+
+// ---- exposition -----------------------------------------------------------
+
+// WriteTo renders every family in registration order as Prometheus text
+// format 0.0.4.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	cw := &countingWriter{w: w}
+	r.mu.Lock()
+	fams := make([]*family, len(r.fams))
+	copy(fams, r.fams)
+	r.mu.Unlock()
+	for _, f := range fams {
+		if f.help != "" {
+			if _, err := fmt.Fprintf(cw, "# HELP %s %s\n", f.name, escapeHelp(f.help)); err != nil {
+				return cw.n, err
+			}
+		}
+		if _, err := fmt.Fprintf(cw, "# TYPE %s %s\n", f.name, f.typ); err != nil {
+			return cw.n, err
+		}
+		for _, s := range f.snapshotSeries() {
+			if err := s.write(cw, f.name); err != nil {
+				return cw.n, err
+			}
+		}
+	}
+	return cw.n, nil
+}
+
+func escapeHelp(h string) string {
+	if !strings.ContainsAny(h, "\\\n") {
+		return h
+	}
+	return strings.NewReplacer(`\`, `\\`, "\n", `\n`).Replace(h)
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// ContentType is the value served with the exposition body.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// ServeHTTP renders the registry, making it mountable as the /metrics
+// handler.
+func (r *Registry) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", ContentType)
+	r.WriteTo(w)
+}

@@ -81,14 +81,13 @@ func TestConcurrentQueries(t *testing.T) {
 	if stats.QueriesObserved != wantObserved {
 		t.Errorf("queries_observed = %d, want %d", stats.QueriesObserved, wantObserved)
 	}
-	var m metricsJSON
-	do(t, h, "GET", "/metrics", "", &m)
+	m := scrapeMetrics(t, h)
 	for _, ep := range []string{"query/window", "query/disk", "query/knn", "query/batch"} {
-		if got := m.Endpoints[ep].Requests; got != workers*perWorker/4 {
-			t.Errorf("%s requests = %d, want %d", ep, got, workers*perWorker/4)
+		if got := m[fmt.Sprintf(`twolayer_http_requests_total{endpoint=%q}`, ep)]; got != float64(workers*perWorker/4) {
+			t.Errorf("%s requests = %v, want %d", ep, got, workers*perWorker/4)
 		}
-		if got := m.Endpoints[ep].Errors; got != 0 {
-			t.Errorf("%s errors = %d, want 0", ep, got)
+		if got := m[fmt.Sprintf(`twolayer_http_request_errors_total{endpoint=%q}`, ep)]; got != 0 {
+			t.Errorf("%s errors = %v, want 0", ep, got)
 		}
 	}
 }

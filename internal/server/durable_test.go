@@ -1,7 +1,6 @@
 package server
 
 import (
-	"encoding/json"
 	"fmt"
 	"io"
 	"log/slog"
@@ -164,21 +163,15 @@ func TestDurableMetricsIncludeCheckpoint(t *testing.T) {
 	dir := t.TempDir()
 	s, _ := durableServer(t, dir)
 	do(t, s.Handler(), "POST", "/checkpoint", "", nil)
-	var m json.RawMessage
-	w := do(t, s.Handler(), "GET", "/metrics", "", &m)
-	if w.Code != http.StatusOK {
-		t.Fatalf("metrics: status %d", w.Code)
+	m := scrapeMetrics(t, s.Handler())
+	if got := m[`twolayer_http_requests_total{endpoint="checkpoint"}`]; got != 1 {
+		t.Fatalf("checkpoint endpoint requests = %v, want 1", got)
 	}
-	if !json.Valid(m) {
-		t.Fatal("metrics response is not JSON")
+	// Durable mode also exports the WAL/checkpoint engine group.
+	if m[`twolayer_checkpoints_total`] < 1 {
+		t.Fatalf("twolayer_checkpoints_total = %v, want >= 1", m[`twolayer_checkpoints_total`])
 	}
-	var parsed struct {
-		Endpoints map[string]json.RawMessage `json:"endpoints"`
-	}
-	if err := json.Unmarshal(m, &parsed); err != nil {
-		t.Fatal(err)
-	}
-	if _, ok := parsed.Endpoints["checkpoint"]; !ok {
-		t.Fatalf("metrics missing checkpoint endpoint: %v", parsed.Endpoints)
+	if m[`twolayer_wal_segments`] < 1 {
+		t.Fatalf("twolayer_wal_segments = %v, want >= 1", m[`twolayer_wal_segments`])
 	}
 }

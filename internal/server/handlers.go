@@ -65,6 +65,7 @@ type windowRequest struct {
 	Exact     bool     `json:"exact"`
 	CountOnly bool     `json:"count_only"`
 	Limit     int      `json:"limit"`
+	Trace     bool     `json:"trace"`
 }
 
 type diskRequest struct {
@@ -73,12 +74,14 @@ type diskRequest struct {
 	Exact     bool      `json:"exact"`
 	CountOnly bool      `json:"count_only"`
 	Limit     int       `json:"limit"`
+	Trace     bool      `json:"trace"`
 }
 
 type knnRequest struct {
 	Center pointJSON `json:"center"`
 	K      int       `json:"k"`
 	Exact  bool      `json:"exact"`
+	Trace  bool      `json:"trace"`
 }
 
 type batchRequest struct {
@@ -105,6 +108,7 @@ type rangeResponse struct {
 	Results   []resultJSON `json:"results,omitempty"`
 	Truncated bool         `json:"truncated"`
 	ElapsedUS int64        `json:"elapsed_us"`
+	Trace     *traceJSON   `json:"trace,omitempty"`
 }
 
 type neighborJSON struct {
@@ -115,6 +119,63 @@ type neighborJSON struct {
 type knnResponse struct {
 	Neighbors []neighborJSON `json:"neighbors"`
 	ElapsedUS int64          `json:"elapsed_us"`
+	Trace     *traceJSON     `json:"trace,omitempty"`
+}
+
+// classCountsJSON reports a per-class quantity keyed by class letter.
+type classCountsJSON struct {
+	A int64 `json:"A"`
+	B int64 `json:"B"`
+	C int64 `json:"C"`
+	D int64 `json:"D"`
+}
+
+func classCounts64(v [4]int64) classCountsJSON {
+	return classCountsJSON{A: v[0], B: v[1], C: v[2], D: v[3]}
+}
+
+// traceJSON is the per-query trace attached to responses (the "trace"
+// field) when tracing was requested: wall-clock stage timings plus the
+// full core counter set of this one evaluation. The schema is
+// documented in docs/OBSERVABILITY.md.
+type traceJSON struct {
+	Kind                 string          `json:"kind"`
+	ElapsedUS            int64           `json:"elapsed_us"`
+	FilterUS             int64           `json:"filter_us"`
+	RefineUS             int64           `json:"refine_us"`
+	TilesVisited         int64           `json:"tiles_visited"`
+	PartitionsScanned    int64           `json:"partitions_scanned"`
+	EntriesScanned       int64           `json:"entries_scanned"`
+	ClassEntriesScanned  classCountsJSON `json:"class_entries_scanned"`
+	Comparisons          int64           `json:"comparisons"`
+	DuplicatesAvoided    int64           `json:"duplicates_avoided"`
+	BinarySearches       int64           `json:"binary_searches"`
+	SecondaryFilterTests int64           `json:"secondary_filter_tests"`
+	SecondaryFilterHits  int64           `json:"secondary_filter_hits"`
+	RefinementTests      int64           `json:"refinement_tests"`
+	DistanceComputations int64           `json:"distance_computations"`
+	Results              int64           `json:"results"`
+}
+
+func newTraceJSON(tr *twolayer.Trace) *traceJSON {
+	return &traceJSON{
+		Kind:                 tr.Kind,
+		ElapsedUS:            tr.ElapsedNS / 1000,
+		FilterUS:             tr.FilterNS() / 1000,
+		RefineUS:             tr.RefineNS / 1000,
+		TilesVisited:         tr.TilesVisited,
+		PartitionsScanned:    tr.PartitionsScanned,
+		EntriesScanned:       tr.EntriesScanned,
+		ClassEntriesScanned:  classCounts64(tr.ClassScanned),
+		Comparisons:          tr.Comparisons,
+		DuplicatesAvoided:    tr.DuplicatesAvoided,
+		BinarySearches:       tr.BinarySearches,
+		SecondaryFilterTests: tr.SecondaryFilterTests,
+		SecondaryFilterHits:  tr.SecondaryFilterHits,
+		RefinementTests:      tr.RefinementTests,
+		DistanceComputations: tr.DistanceComputations,
+		Results:              tr.Results,
+	}
 }
 
 type batchResponse struct {
@@ -154,6 +215,70 @@ func (s *Server) view() (view *twolayer.Index, flush func()) {
 		return v, func() { s.agg.Observe(stats) }
 	}
 	return s.idx.ReadView(), func() {}
+}
+
+// headerTrace reports whether the request asked for a trace through the
+// X-Trace header (any value but "0" and "false" enables it).
+func headerTrace(r *http.Request) bool {
+	v := r.Header.Get("X-Trace")
+	return v != "" && v != "0" && v != "false"
+}
+
+// beginQuery prepares the view one single query evaluates on, honoring
+// CollectStats, tracing (Config.EnableTracing, the request's "trace"
+// field, or an X-Trace header), and the slow-query threshold. It
+// returns the view and a finish func to call exactly once after a
+// successful evaluation: finish merges counters into the /stats
+// aggregate, logs the query if it crossed SlowQueryThreshold, and —
+// when the client or config asked for a trace — sets a compact X-Trace
+// response header and returns the trace to embed in the response (nil
+// otherwise).
+func (s *Server) beginQuery(w http.ResponseWriter, r *http.Request, kind string, reqTrace bool) (*twolayer.Index, func() *traceJSON) {
+	want := s.cfg.EnableTracing || reqTrace || headerTrace(r)
+	if !want && s.cfg.SlowQueryThreshold <= 0 {
+		view, flush := s.view()
+		return view, func() *traceJSON { flush(); return nil }
+	}
+
+	// Traced path: also used trace-internally when only the slow-query
+	// log needs timings. The trace embeds the Stats counters, so the
+	// /stats aggregation works exactly as on the instrumented path.
+	base := s.idx
+	if s.live != nil {
+		base = s.live.Snapshot()
+	}
+	view, tr := base.Traced()
+	tr.Kind = kind
+	start := time.Now()
+	return view, func() *traceJSON {
+		tr.Finish(start)
+		if s.cfg.CollectStats {
+			s.agg.Observe(&tr.Stats)
+		}
+		if thr := s.cfg.SlowQueryThreshold; thr > 0 && tr.Elapsed() >= thr {
+			s.metrics.slow.Inc()
+			s.cfg.Logger.Warn("slow query",
+				"kind", tr.Kind,
+				"threshold", thr,
+				"elapsed_us", tr.ElapsedNS/1000,
+				"filter_us", tr.FilterNS()/1000,
+				"refine_us", tr.RefineNS/1000,
+				"tiles_visited", tr.TilesVisited,
+				"entries_scanned", tr.EntriesScanned,
+				"comparisons", tr.Comparisons,
+				"refinement_tests", tr.RefinementTests,
+				"results", tr.Results)
+		}
+		if !want {
+			return nil
+		}
+		s.metrics.traced.Inc()
+		w.Header().Set("X-Trace", fmt.Sprintf(
+			"kind=%s elapsed_us=%d filter_us=%d refine_us=%d tiles=%d entries=%d results=%d",
+			tr.Kind, tr.ElapsedNS/1000, tr.FilterNS()/1000, tr.RefineNS/1000,
+			tr.TilesVisited, tr.EntriesScanned, tr.Results))
+		return newTraceJSON(tr)
+	}
 }
 
 // clampLimit resolves a request's result limit. ok=false means the value
@@ -203,7 +328,7 @@ func (s *Server) handleWindow(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	view, flush := s.view()
+	view, finish := s.beginQuery(w, r, "window", req.Trace)
 	ctx := r.Context()
 	if ctx.Err() != nil {
 		writeTimeout(w)
@@ -263,7 +388,7 @@ func (s *Server) handleWindow(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	resp.ElapsedUS = time.Since(start).Microseconds()
-	flush()
+	resp.Trace = finish()
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -289,7 +414,7 @@ func (s *Server) handleDisk(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	view, flush := s.view()
+	view, finish := s.beginQuery(w, r, "disk", req.Trace)
 	if r.Context().Err() != nil {
 		// Disk evaluation has no early-exit hook; honor an already
 		// expired deadline before starting.
@@ -321,7 +446,7 @@ func (s *Server) handleDisk(w http.ResponseWriter, r *http.Request) {
 		})
 	}
 	resp.ElapsedUS = time.Since(start).Microseconds()
-	flush()
+	resp.Trace = finish()
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -343,7 +468,7 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	view, flush := s.view()
+	view, finish := s.beginQuery(w, r, "knn", req.Trace)
 	if r.Context().Err() != nil {
 		writeTimeout(w)
 		return
@@ -363,7 +488,7 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 	for i, n := range neighbors {
 		resp.Neighbors[i] = neighborJSON{ID: n.ID, Distance: n.Dist}
 	}
-	flush()
+	resp.Trace = finish()
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -463,50 +588,75 @@ type indexInfoJSON struct {
 }
 
 type countersJSON struct {
-	TilesVisited         int64 `json:"tiles_visited"`
-	PartitionsScanned    int64 `json:"partitions_scanned"`
-	EntriesScanned       int64 `json:"entries_scanned"`
-	Comparisons          int64 `json:"comparisons"`
-	Results              int64 `json:"results"`
-	DuplicatesAvoided    int64 `json:"duplicates_avoided"`
-	BinarySearches       int64 `json:"binary_searches"`
-	SecondaryFilterTests int64 `json:"secondary_filter_tests"`
-	SecondaryFilterHits  int64 `json:"secondary_filter_hits"`
-	RefinementTests      int64 `json:"refinement_tests"`
-	DistanceComputations int64 `json:"distance_computations"`
+	TilesVisited         int64           `json:"tiles_visited"`
+	PartitionsScanned    int64           `json:"partitions_scanned"`
+	EntriesScanned       int64           `json:"entries_scanned"`
+	ClassEntriesScanned  classCountsJSON `json:"class_entries_scanned"`
+	Comparisons          int64           `json:"comparisons"`
+	Results              int64           `json:"results"`
+	DuplicatesAvoided    int64           `json:"duplicates_avoided"`
+	BinarySearches       int64           `json:"binary_searches"`
+	SecondaryFilterTests int64           `json:"secondary_filter_tests"`
+	SecondaryFilterHits  int64           `json:"secondary_filter_hits"`
+	RefinementTests      int64           `json:"refinement_tests"`
+	DistanceComputations int64           `json:"distance_computations"`
+}
+
+// partitionsJSON reports the shape of the served index's partitioning
+// (Index.PartitionStats), recomputed per /stats request.
+type partitionsJSON struct {
+	GridTiles         int             `json:"grid_tiles"`
+	OccupiedTiles     int             `json:"occupied_tiles"`
+	Objects           int             `json:"objects"`
+	Replicas          int             `json:"replicas"`
+	ClassEntries      classCountsJSON `json:"class_entries"`
+	MaxTileEntries    int             `json:"max_tile_entries"`
+	MeanTileEntries   float64         `json:"mean_tile_entries"`
+	SkewRatio         float64         `json:"skew_ratio"`
+	ReplicationFactor float64         `json:"replication_factor"`
+	BoundaryRatio     float64         `json:"boundary_ratio"`
+	DecomposedTiles   int             `json:"decomposed_tiles"`
 }
 
 // liveStatsJSON reports the apply loop of a live-mode server: the
 // published epoch, the mutation backlog, and publish totals/latency.
+// Naming follows the /stats conventions (docs/OBSERVABILITY.md):
+// snake_case, cumulative counters end in _total, durations are float
+// seconds with a _seconds suffix.
 type liveStatsJSON struct {
-	Epoch         uint64 `json:"epoch"`
-	PendingOps    int64  `json:"pending_ops"`
-	AppliedOps    uint64 `json:"applied_ops"`
-	Publishes     uint64 `json:"publishes"`
-	Rebuilds      uint64 `json:"rebuilds"`
-	LastBatch     int64  `json:"last_batch"`
-	LastPublishUS int64  `json:"last_publish_us"`
+	Epoch               uint64  `json:"epoch"`
+	PendingMutations    int64   `json:"pending_mutations"`
+	AppliedMutations    uint64  `json:"applied_mutations_total"`
+	Publishes           uint64  `json:"publishes_total"`
+	Rebuilds            uint64  `json:"rebuilds_total"`
+	LastBatchMutations  int64   `json:"last_batch_mutations"`
+	LastPublishSeconds  float64 `json:"last_publish_seconds"`
+	PublishSecondsTotal float64 `json:"publish_seconds_total"`
 }
 
 // durabilityJSON reports the durability engine of a durable-mode
-// server: log shape, fsync and checkpoint counters, and what startup
-// recovery replayed.
+// server: log shape, fsync and checkpoint counters with cumulative
+// latencies, and what startup recovery replayed. Same naming
+// conventions as liveStatsJSON.
 type durabilityJSON struct {
-	FsyncPolicy          string `json:"fsync_policy"`
-	Segments             int    `json:"segments"`
-	LogBytes             int64  `json:"log_bytes"`
-	AppendedRecords      uint64 `json:"appended_records"`
-	AppendedBytes        uint64 `json:"appended_bytes"`
-	Fsyncs               uint64 `json:"fsyncs"`
-	Rotations            uint64 `json:"rotations"`
-	PrunedSegments       uint64 `json:"pruned_segments"`
-	Checkpoints          uint64 `json:"checkpoints"`
-	CheckpointEpoch      uint64 `json:"checkpoint_epoch"`
-	CheckpointAgeMS      int64  `json:"checkpoint_age_ms"`
-	SinceCheckpoint      int64  `json:"mutations_since_checkpoint"`
-	ReplayedRecords      int    `json:"replayed_records"`
-	ReplayedMutations    int    `json:"replayed_mutations"`
-	RecoveryTruncatedLog bool   `json:"recovery_truncated_log"`
+	FsyncPolicy            string  `json:"fsync_policy"`
+	Segments               int     `json:"segments"`
+	LogBytes               int64   `json:"log_bytes"`
+	AppendedRecords        uint64  `json:"appended_records_total"`
+	AppendedBytes          uint64  `json:"appended_bytes_total"`
+	Fsyncs                 uint64  `json:"fsyncs_total"`
+	Rotations              uint64  `json:"rotations_total"`
+	PrunedSegments         uint64  `json:"pruned_segments_total"`
+	AppendSecondsTotal     float64 `json:"append_seconds_total"`
+	FsyncSecondsTotal      float64 `json:"fsync_seconds_total"`
+	Checkpoints            uint64  `json:"checkpoints_total"`
+	CheckpointEpoch        uint64  `json:"checkpoint_epoch"`
+	CheckpointAgeSeconds   float64 `json:"checkpoint_age_seconds"`
+	CheckpointSecondsTotal float64 `json:"checkpoint_seconds_total"`
+	SinceCheckpoint        int64   `json:"mutations_since_checkpoint"`
+	ReplayedRecords        int     `json:"replayed_records"`
+	ReplayedMutations      int     `json:"replayed_mutations"`
+	RecoveryTruncatedLog   bool    `json:"recovery_truncated_log"`
 	// LogFailed is non-empty once the log hit an unrecoverable write or
 	// fsync error; all mutations are being rejected until the node is
 	// restarted on a healthy disk.
@@ -515,9 +665,11 @@ type durabilityJSON struct {
 
 type statsResponse struct {
 	Index           indexInfoJSON   `json:"index"`
+	Partitions      partitionsJSON  `json:"partitions"`
 	Live            *liveStatsJSON  `json:"live,omitempty"`
 	Durability      *durabilityJSON `json:"durability,omitempty"`
 	StatsEnabled    bool            `json:"stats_enabled"`
+	TracingEnabled  bool            `json:"tracing_enabled"`
 	QueriesObserved int64           `json:"queries_observed"`
 	Counters        countersJSON    `json:"counters"`
 }
@@ -529,37 +681,47 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if s.live != nil {
 		ls := s.live.Stats()
 		live = &liveStatsJSON{
-			Epoch:         ls.Epoch,
-			PendingOps:    ls.Pending,
-			AppliedOps:    ls.Applied,
-			Publishes:     ls.Publishes,
-			Rebuilds:      ls.Rebuilds,
-			LastBatch:     ls.LastBatch,
-			LastPublishUS: ls.LastPublish.Microseconds(),
+			Epoch:               ls.Epoch,
+			PendingMutations:    ls.Pending,
+			AppliedMutations:    ls.Applied,
+			Publishes:           ls.Publishes,
+			Rebuilds:            ls.Rebuilds,
+			LastBatchMutations:  ls.LastBatch,
+			LastPublishSeconds:  ls.LastPublish.Seconds(),
+			PublishSecondsTotal: ls.PublishTotal.Seconds(),
 		}
 	}
 	var durability *durabilityJSON
 	if s.durable != nil {
 		ds := s.durable.Stats()
 		durability = &durabilityJSON{
-			FsyncPolicy:          ds.Policy.String(),
-			Segments:             ds.Segments,
-			LogBytes:             ds.LogBytes,
-			AppendedRecords:      ds.AppendedRecords,
-			AppendedBytes:        ds.AppendedBytes,
-			Fsyncs:               ds.Fsyncs,
-			Rotations:            ds.Rotations,
-			PrunedSegments:       ds.PrunedSegments,
-			Checkpoints:          ds.Checkpoints,
-			CheckpointEpoch:      ds.CheckpointEpoch,
-			CheckpointAgeMS:      ds.CheckpointAge.Milliseconds(),
-			SinceCheckpoint:      ds.SinceCheckpoint,
-			ReplayedRecords:      ds.Recovery.ReplayedRecords,
-			ReplayedMutations:    ds.Recovery.ReplayedMutations,
-			RecoveryTruncatedLog: ds.Recovery.TruncatedTail,
-			LogFailed:            ds.Failed,
+			FsyncPolicy:            ds.Policy.String(),
+			Segments:               ds.Segments,
+			LogBytes:               ds.LogBytes,
+			AppendedRecords:        ds.AppendedRecords,
+			AppendedBytes:          ds.AppendedBytes,
+			Fsyncs:                 ds.Fsyncs,
+			Rotations:              ds.Rotations,
+			PrunedSegments:         ds.PrunedSegments,
+			AppendSecondsTotal:     ds.AppendTotal.Seconds(),
+			FsyncSecondsTotal:      ds.FsyncTotal.Seconds(),
+			Checkpoints:            ds.Checkpoints,
+			CheckpointEpoch:        ds.CheckpointEpoch,
+			CheckpointAgeSeconds:   ds.CheckpointAge.Seconds(),
+			CheckpointSecondsTotal: ds.CheckpointTotal.Seconds(),
+			SinceCheckpoint:        ds.SinceCheckpoint,
+			ReplayedRecords:        ds.Recovery.ReplayedRecords,
+			ReplayedMutations:      ds.Recovery.ReplayedMutations,
+			RecoveryTruncatedLog:   ds.Recovery.TruncatedTail,
+			LogFailed:              ds.Failed,
 		}
 	}
+	ps := idx.PartitionStats()
+	var classEntries classCountsJSON
+	classEntries.A = int64(ps.ClassCounts[0])
+	classEntries.B = int64(ps.ClassCounts[1])
+	classEntries.C = int64(ps.ClassCounts[2])
+	classEntries.D = int64(ps.ClassCounts[3])
 	snap := s.agg.Snapshot()
 	writeJSON(w, http.StatusOK, statsResponse{
 		Index: indexInfoJSON{
@@ -570,14 +732,29 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			MemoryBytes:       idx.MemoryFootprint(),
 			ExactGeometries:   idx.HasExactGeometries(),
 		},
+		Partitions: partitionsJSON{
+			GridTiles:         ps.GridTiles,
+			OccupiedTiles:     ps.OccupiedTiles,
+			Objects:           ps.Objects,
+			Replicas:          ps.Replicas,
+			ClassEntries:      classEntries,
+			MaxTileEntries:    ps.MaxTileEntries,
+			MeanTileEntries:   ps.MeanTileEntries,
+			SkewRatio:         ps.SkewRatio,
+			ReplicationFactor: ps.ReplicationFactor,
+			BoundaryRatio:     ps.BoundaryRatio,
+			DecomposedTiles:   ps.DecomposedTiles,
+		},
 		Live:            live,
 		Durability:      durability,
 		StatsEnabled:    s.cfg.CollectStats,
+		TracingEnabled:  s.cfg.EnableTracing,
 		QueriesObserved: s.agg.Queries(),
 		Counters: countersJSON{
 			TilesVisited:         snap.TilesVisited,
 			PartitionsScanned:    snap.PartitionsScanned,
 			EntriesScanned:       snap.EntriesScanned,
+			ClassEntriesScanned:  classCounts64(snap.ClassScanned),
 			Comparisons:          snap.Comparisons,
 			Results:              snap.Results,
 			DuplicatesAvoided:    snap.DuplicatesAvoided,

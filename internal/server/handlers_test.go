@@ -8,6 +8,7 @@ import (
 	"log/slog"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -64,6 +65,38 @@ func do(t *testing.T, h http.Handler, method, path, body string, out any) *httpt
 		}
 	}
 	return w
+}
+
+// scrapeMetrics fetches /metrics and parses the Prometheus text format
+// into a map keyed by the full series identity (`name{labels}`), e.g.
+// `twolayer_http_requests_total{endpoint="query/window"}`.
+func scrapeMetrics(t *testing.T, h http.Handler) map[string]float64 {
+	t.Helper()
+	req := httptest.NewRequest("GET", "/metrics", nil)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d", w.Code)
+	}
+	if ct := w.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("GET /metrics: content type %q, want text/plain exposition", ct)
+	}
+	out := make(map[string]float64)
+	for _, line := range strings.Split(w.Body.String(), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("unparseable metrics line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			t.Fatalf("unparseable value in metrics line %q: %v", line, err)
+		}
+		out[line[:sp]] = v
+	}
+	return out
 }
 
 func TestWindowHappyPath(t *testing.T) {
@@ -172,10 +205,9 @@ func TestWindowTimeout(t *testing.T) {
 		t.Errorf("error %q, want %q", e.Error, "deadline exceeded")
 	}
 	// The timeout must be visible in metrics.
-	var m metricsJSON
-	do(t, s.Handler(), "GET", "/metrics", "", &m)
-	if got := m.Endpoints["query/window"].Timeouts; got != 1 {
-		t.Errorf("metrics timeouts = %d, want 1", got)
+	m := scrapeMetrics(t, s.Handler())
+	if got := m[`twolayer_http_request_timeouts_total{endpoint="query/window"}`]; got != 1 {
+		t.Errorf("metrics timeouts = %v, want 1", got)
 	}
 }
 
@@ -343,18 +375,24 @@ func TestHealthzAndMetrics(t *testing.T) {
 	do(t, s.Handler(), "POST", "/query/window",
 		`{"rect":{"min_x":0,"min_y":0,"max_x":1,"max_y":1}}`, nil)
 	do(t, s.Handler(), "POST", "/query/window", `not json`, nil)
-	var m metricsJSON
-	do(t, s.Handler(), "GET", "/metrics", "", &m)
-	ep := m.Endpoints["query/window"]
-	if ep.Requests != 2 || ep.Errors != 1 {
-		t.Errorf("query/window metrics = %+v, want 2 requests / 1 error", ep)
+	m := scrapeMetrics(t, s.Handler())
+	if req, errs := m[`twolayer_http_requests_total{endpoint="query/window"}`],
+		m[`twolayer_http_request_errors_total{endpoint="query/window"}`]; req != 2 || errs != 1 {
+		t.Errorf("query/window metrics = %v requests / %v errors, want 2 / 1", req, errs)
 	}
-	var inBuckets int64
-	for _, b := range ep.Latency.Buckets {
-		inBuckets += b.Count
+	// The histogram's +Inf bucket and count must both cover every request.
+	if inf := m[`twolayer_http_request_duration_seconds_bucket{endpoint="query/window",le="+Inf"}`]; inf != 2 {
+		t.Errorf("+Inf bucket = %v, want 2", inf)
 	}
-	if inBuckets != ep.Requests {
-		t.Errorf("bucket counts sum to %d, want %d", inBuckets, ep.Requests)
+	if cnt := m[`twolayer_http_request_duration_seconds_count{endpoint="query/window"}`]; cnt != 2 {
+		t.Errorf("histogram count = %v, want 2", cnt)
+	}
+	// Engine gauges are present alongside the http group.
+	if m[`twolayer_index_objects`] != 100 {
+		t.Errorf("twolayer_index_objects = %v, want 100", m[`twolayer_index_objects`])
+	}
+	if m[`twolayer_partition_occupied_tiles`] == 0 {
+		t.Error("twolayer_partition_occupied_tiles missing or zero")
 	}
 }
 

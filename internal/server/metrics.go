@@ -1,162 +1,337 @@
 package server
 
 import (
-	"encoding/json"
 	"net/http"
 	"runtime"
-	"sync/atomic"
+	"sync"
 	"time"
+
+	twolayer "github.com/twolayer/twolayer"
+	"github.com/twolayer/twolayer/internal/obsv"
 )
 
-// latencyBucketBoundsUS are the upper bounds (microseconds, inclusive) of
-// the latency histogram buckets. Requests slower than the last bound land
-// in the overflow bucket serialized with "le": null.
-var latencyBucketBoundsUS = [...]int64{
-	50, 100, 250, 500,
-	1_000, 2_500, 5_000, 10_000,
-	25_000, 50_000, 100_000, 250_000,
-	500_000, 1_000_000,
-}
-
-// endpointMetrics holds the per-endpoint counters. All fields are atomic;
-// recording a request takes a handful of atomic adds and no locks.
-type endpointMetrics struct {
-	requests atomic.Int64 // all requests routed to the endpoint
-	errors   atomic.Int64 // responses with status >= 400
-	timeouts atomic.Int64 // responses with status 503 (deadline exceeded)
-
-	latencySumUS atomic.Int64
-	latencyMaxUS atomic.Int64
-	buckets      [len(latencyBucketBoundsUS) + 1]atomic.Int64
-}
-
-func (m *endpointMetrics) observe(status int, elapsed time.Duration) {
-	m.requests.Add(1)
-	if status >= 400 {
-		m.errors.Add(1)
-	}
-	if status == http.StatusServiceUnavailable {
-		m.timeouts.Add(1)
-	}
-	us := elapsed.Microseconds()
-	m.latencySumUS.Add(us)
-	for {
-		old := m.latencyMaxUS.Load()
-		if us <= old || m.latencyMaxUS.CompareAndSwap(old, us) {
-			break
-		}
-	}
-	i := 0
-	for i < len(latencyBucketBoundsUS) && us > latencyBucketBoundsUS[i] {
-		i++
-	}
-	m.buckets[i].Add(1)
-}
-
-// Metrics is the server-wide metrics registry: one endpointMetrics per
-// registered endpoint, plus process-level gauges sampled at serve time.
-// It marshals to expvar-style JSON on GET /metrics (no external deps).
+// Metrics is the server's engine-wide metrics surface, served on
+// GET /metrics in the Prometheus text exposition format. It wraps one
+// obsv.Registry holding every instrument group the server publishes:
+//
+//   - twolayer_http_*: per-endpoint request counts, errors, timeouts,
+//     and latency histograms, recorded by the instrument middleware.
+//   - twolayer_query_*: the core filtering/refinement work counters
+//     (tiles visited, per-class entries scanned, comparisons, duplicates
+//     avoided, ...) aggregated across instrumented requests. Populated
+//     only when Config.CollectStats is on.
+//   - twolayer_index_* / twolayer_partition_*: point-in-time shape of
+//     the served index — object counts, per-class entry totals, tile
+//     occupancy skew, replication — sampled at scrape time through a
+//     short-lived cache (the partition walk is O(occupied tiles)).
+//   - twolayer_live_*: apply-loop state of a live-mode server (epoch,
+//     backlog, publish totals and latency).
+//   - twolayer_wal_* / twolayer_checkpoint*: durability-engine state of
+//     a durable-mode server (log shape, fsync and checkpoint counters
+//     and cumulative latencies).
+//   - twolayer_process_*: process-level gauges.
+//
+// Engine groups are registered as scrape-time callbacks reading the
+// engine's own counters, so nothing here adds work to hot paths; only
+// the http group is written per request (a few atomic adds).
+//
+// Every metric name registered here must be documented in
+// docs/OBSERVABILITY.md — `make docs-check` enforces it.
 type Metrics struct {
-	start     time.Time
-	names     []string // registration order, for stable JSON output
-	endpoints map[string]*endpointMetrics
+	reg *obsv.Registry
+
+	requests *obsv.CounterVec
+	errors   *obsv.CounterVec
+	timeouts *obsv.CounterVec
+	latency  *obsv.HistogramVec
+	traced   *obsv.Counter
+	slow     *obsv.Counter
+	buildDur *obsv.Gauge
 }
 
-func newMetrics(endpointNames []string) *Metrics {
-	m := &Metrics{
-		start:     time.Now(),
-		names:     endpointNames,
-		endpoints: make(map[string]*endpointMetrics, len(endpointNames)),
+// partitionCache memoizes the O(occupied tiles) partition walk between
+// scrapes so a tight scrape loop (or a registry with many partition
+// series) does not rewalk the tile directory per series read.
+type partitionCache struct {
+	fetch func() twolayer.PartitionStats
+
+	mu    sync.Mutex
+	last  time.Time
+	cache twolayer.PartitionStats
+}
+
+// partitionRefresh is the maximum staleness of partition gauges.
+const partitionRefresh = 5 * time.Second
+
+func (p *partitionCache) get() twolayer.PartitionStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.last.IsZero() || time.Since(p.last) >= partitionRefresh {
+		p.cache = p.fetch()
+		p.last = time.Now()
 	}
+	return p.cache
+}
+
+// classLabels maps core class indices (A..D) to label values.
+var classLabels = [4]string{"A", "B", "C", "D"}
+
+// newMetrics builds the registry for s. endpointNames pre-registers the
+// http series of every routed endpoint, so all series exist (at zero)
+// from the first scrape.
+func newMetrics(s *Server, endpointNames []string) *Metrics {
+	r := obsv.NewRegistry()
+	m := &Metrics{reg: r}
+
+	// ---- http group -------------------------------------------------------
+	m.requests = r.CounterVec("twolayer_http_requests_total",
+		"Requests routed to each endpoint.", "endpoint")
+	m.errors = r.CounterVec("twolayer_http_request_errors_total",
+		"Responses with status >= 400, per endpoint.", "endpoint")
+	m.timeouts = r.CounterVec("twolayer_http_request_timeouts_total",
+		"Responses with status 503 (evaluation deadline exceeded), per endpoint.", "endpoint")
+	m.latency = r.HistogramVec("twolayer_http_request_duration_seconds",
+		"End-to-end request latency, per endpoint.", nil, "endpoint")
 	for _, n := range endpointNames {
-		m.endpoints[n] = &endpointMetrics{}
+		m.requests.With(n)
+		m.errors.With(n)
+		m.timeouts.With(n)
+		m.latency.With(n)
 	}
+	m.traced = r.Counter("twolayer_traced_queries_total",
+		"Queries evaluated with per-request tracing attached.")
+	m.slow = r.Counter("twolayer_slow_queries_total",
+		"Queries at or above the slow-query threshold (logged with their trace).")
+
+	// ---- index & partition group -----------------------------------------
+	m.buildDur = r.Gauge("twolayer_index_build_seconds",
+		"Wall time of the initial index build or snapshot load, 0 if unknown.")
+	r.GaugeFunc("twolayer_index_objects",
+		"Distinct objects in the served index (current snapshot in live mode).",
+		func() float64 { return float64(s.index().Len()) })
+	r.GaugeFunc("twolayer_index_epoch",
+		"Copy-on-write epoch of the served index; 0 for a static build.",
+		func() float64 { return float64(s.index().Epoch()) })
+	r.GaugeFunc("twolayer_index_memory_bytes",
+		"Approximate entry storage of the served index.",
+		func() float64 { return float64(s.index().MemoryFootprint()) })
+
+	parts := &partitionCache{fetch: func() twolayer.PartitionStats {
+		return s.index().PartitionStats()
+	}}
+	r.GaugeFunc("twolayer_partition_grid_tiles",
+		"Total tiles of the primary grid (NX*NY).",
+		func() float64 { return float64(parts.get().GridTiles) })
+	r.GaugeFunc("twolayer_partition_occupied_tiles",
+		"Tiles holding at least one entry.",
+		func() float64 { return float64(parts.get().OccupiedTiles) })
+	r.GaugeFunc("twolayer_partition_replicas",
+		"Stored entries including grid replication.",
+		func() float64 { return float64(parts.get().Replicas) })
+	classEntries := r.GaugeVecFunc("twolayer_partition_class_entries",
+		"Stored entries per secondary class (A holds each object exactly once).", "class")
+	for c := 0; c < 4; c++ {
+		c := c
+		classEntries.Add(func() float64 { return float64(parts.get().ClassCounts[c]) }, classLabels[c])
+	}
+	r.GaugeFunc("twolayer_partition_max_tile_entries",
+		"Entry count of the fullest tile.",
+		func() float64 { return float64(parts.get().MaxTileEntries) })
+	r.GaugeFunc("twolayer_partition_mean_tile_entries",
+		"Mean entries per occupied tile.",
+		func() float64 { return parts.get().MeanTileEntries })
+	r.GaugeFunc("twolayer_partition_skew_ratio",
+		"Max/mean tile occupancy; 1.0 is a perfectly even spread.",
+		func() float64 { return parts.get().SkewRatio })
+	r.GaugeFunc("twolayer_partition_replication_factor",
+		"Stored entries (with replicas) per object.",
+		func() float64 { return parts.get().ReplicationFactor })
+	r.GaugeFunc("twolayer_partition_boundary_ratio",
+		"Fraction of stored entries that are boundary replicas (classes B, C, D).",
+		func() float64 { return parts.get().BoundaryRatio })
+	r.GaugeFunc("twolayer_partition_decomposed_tiles",
+		"Tiles with fresh 2-layer+ decomposed tables.",
+		func() float64 { return float64(parts.get().DecomposedTiles) })
+
+	// ---- query counters group (CollectStats aggregation) ------------------
+	agg := s.agg
+	r.CounterFunc("twolayer_queries_observed_total",
+		"Instrumented queries merged into the aggregate counters.",
+		func() float64 { return float64(agg.Queries()) })
+	queryCounter := func(name, help string, get func(*twolayer.Stats) int64) {
+		r.CounterFunc(name, help, func() float64 {
+			snap := agg.Snapshot()
+			return float64(get(&snap))
+		})
+	}
+	queryCounter("twolayer_query_tiles_visited_total",
+		"Grid tiles examined across instrumented queries.",
+		func(st *twolayer.Stats) int64 { return st.TilesVisited })
+	queryCounter("twolayer_query_partitions_scanned_total",
+		"Secondary partitions (tile classes) read.",
+		func(st *twolayer.Stats) int64 { return st.PartitionsScanned })
+	queryCounter("twolayer_query_entries_scanned_total",
+		"Entries inspected in scanned partitions.",
+		func(st *twolayer.Stats) int64 { return st.EntriesScanned })
+	classScanned := r.CounterVecFunc("twolayer_query_class_entries_scanned_total",
+		"Entries held by the partitions selected for scanning, per class.", "class")
+	for c := 0; c < 4; c++ {
+		c := c
+		classScanned.Add(func() float64 {
+			return float64(agg.Snapshot().ClassScanned[c])
+		}, classLabels[c])
+	}
+	queryCounter("twolayer_query_comparisons_total",
+		"Coordinate comparisons executed during filtering (the quantity Lemmas 3-4 minimize).",
+		func(st *twolayer.Stats) int64 { return st.Comparisons })
+	queryCounter("twolayer_query_results_total",
+		"Entries reported by the filtering step.",
+		func(st *twolayer.Stats) int64 { return st.Results })
+	queryCounter("twolayer_query_duplicates_avoided_total",
+		"Entries skipped wholesale by the duplicate-free class selection (Lemmas 1-2).",
+		func(st *twolayer.Stats) int64 { return st.DuplicatesAvoided })
+	queryCounter("twolayer_query_binary_searches_total",
+		"Binary searches on 2-layer+ decomposed tables.",
+		func(st *twolayer.Stats) int64 { return st.BinarySearches })
+	queryCounter("twolayer_query_secondary_filter_tests_total",
+		"Lemma 5 coverage tests performed before refinement.",
+		func(st *twolayer.Stats) int64 { return st.SecondaryFilterTests })
+	queryCounter("twolayer_query_secondary_filter_hits_total",
+		"Candidates accepted by the secondary filter without an exact geometry test.",
+		func(st *twolayer.Stats) int64 { return st.SecondaryFilterHits })
+	queryCounter("twolayer_query_refinement_tests_total",
+		"Exact geometry tests executed.",
+		func(st *twolayer.Stats) int64 { return st.RefinementTests })
+	queryCounter("twolayer_query_distance_computations_total",
+		"Point-distance evaluations in disk and kNN queries.",
+		func(st *twolayer.Stats) int64 { return st.DistanceComputations })
+
+	// ---- live group -------------------------------------------------------
+	if s.live != nil {
+		live := s.live
+		r.GaugeFunc("twolayer_live_epoch",
+			"Epoch of the current published snapshot.",
+			func() float64 { return float64(live.Stats().Epoch) })
+		r.GaugeFunc("twolayer_live_pending_mutations",
+			"Mutations accepted but not yet published.",
+			func() float64 { return float64(live.Stats().Pending) })
+		r.CounterFunc("twolayer_live_applied_mutations_total",
+			"Mutations applied since start.",
+			func() float64 { return float64(live.Stats().Applied) })
+		r.CounterFunc("twolayer_live_publishes_total",
+			"Copy-on-write snapshots published.",
+			func() float64 { return float64(live.Stats().Publishes) })
+		r.CounterFunc("twolayer_live_rebuilds_total",
+			"Periodic 2-layer+ decomposed-table rebuilds performed by the apply loop.",
+			func() float64 { return float64(live.Stats().Rebuilds) })
+		r.GaugeFunc("twolayer_live_last_batch_mutations",
+			"Mutations in the most recent publish.",
+			func() float64 { return float64(live.Stats().LastBatch) })
+		r.GaugeFunc("twolayer_live_last_publish_seconds",
+			"Wall time of the most recent publish.",
+			func() float64 { return live.Stats().LastPublish.Seconds() })
+		r.CounterFunc("twolayer_live_publish_seconds_total",
+			"Cumulative wall time spent publishing snapshots.",
+			func() float64 { return live.Stats().PublishTotal.Seconds() })
+	}
+
+	// ---- wal / checkpoint group -------------------------------------------
+	if s.durable != nil {
+		durable := s.durable
+		r.GaugeFunc("twolayer_wal_segments",
+			"On-disk log segment files, including the active one.",
+			func() float64 { return float64(durable.Stats().Segments) })
+		r.GaugeFunc("twolayer_wal_log_bytes",
+			"Total bytes across log segments.",
+			func() float64 { return float64(durable.Stats().LogBytes) })
+		r.CounterFunc("twolayer_wal_appended_records_total",
+			"Batch frames appended to the log.",
+			func() float64 { return float64(durable.Stats().AppendedRecords) })
+		r.CounterFunc("twolayer_wal_appended_bytes_total",
+			"Bytes appended to the log.",
+			func() float64 { return float64(durable.Stats().AppendedBytes) })
+		r.CounterFunc("twolayer_wal_fsyncs_total",
+			"fsync calls on the active segment.",
+			func() float64 { return float64(durable.Stats().Fsyncs) })
+		r.CounterFunc("twolayer_wal_rotations_total",
+			"Segment rotations (seal + new active segment).",
+			func() float64 { return float64(durable.Stats().Rotations) })
+		r.CounterFunc("twolayer_wal_pruned_segments_total",
+			"Sealed segments removed because a checkpoint covers them.",
+			func() float64 { return float64(durable.Stats().PrunedSegments) })
+		r.CounterFunc("twolayer_wal_append_seconds_total",
+			"Cumulative wall time inside successful journal appends.",
+			func() float64 { return durable.Stats().AppendTotal.Seconds() })
+		r.CounterFunc("twolayer_wal_fsync_seconds_total",
+			"Cumulative wall time inside fsync calls.",
+			func() float64 { return durable.Stats().FsyncTotal.Seconds() })
+		r.GaugeFunc("twolayer_wal_failed",
+			"1 once the log hit an unrecoverable write/fsync error (mutations rejected), else 0.",
+			func() float64 {
+				if durable.Stats().Failed != "" {
+					return 1
+				}
+				return 0
+			})
+		r.CounterFunc("twolayer_checkpoints_total",
+			"Checkpoints written since start.",
+			func() float64 { return float64(durable.Stats().Checkpoints) })
+		r.GaugeFunc("twolayer_checkpoint_epoch",
+			"Epoch of the newest checkpoint, 0 if none.",
+			func() float64 { return float64(durable.Stats().CheckpointEpoch) })
+		r.GaugeFunc("twolayer_checkpoint_age_seconds",
+			"Seconds since the newest checkpoint, 0 if none.",
+			func() float64 { return durable.Stats().CheckpointAge.Seconds() })
+		r.CounterFunc("twolayer_checkpoint_seconds_total",
+			"Cumulative wall time writing checkpoint files.",
+			func() float64 { return durable.Stats().CheckpointTotal.Seconds() })
+		r.GaugeFunc("twolayer_mutations_since_checkpoint",
+			"Mutations journaled since the newest checkpoint (replay cost of a crash now).",
+			func() float64 { return float64(durable.Stats().SinceCheckpoint) })
+	}
+
+	// ---- process group ----------------------------------------------------
+	start := time.Now()
+	r.GaugeFunc("twolayer_process_uptime_seconds",
+		"Seconds since the server was constructed.",
+		func() float64 { return time.Since(start).Seconds() })
+	r.GaugeFunc("twolayer_process_goroutines",
+		"Current goroutine count.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	r.GaugeFunc("twolayer_process_heap_alloc_bytes",
+		"Bytes of allocated heap objects.",
+		func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return float64(ms.HeapAlloc)
+		})
+	r.CounterFunc("twolayer_process_gc_total",
+		"Completed GC cycles.",
+		func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return float64(ms.NumGC)
+		})
+
 	return m
 }
 
+// observe records one finished request into the http group.
 func (m *Metrics) observe(endpoint string, status int, elapsed time.Duration) {
-	if em, ok := m.endpoints[endpoint]; ok {
-		em.observe(status, elapsed)
+	m.requests.With(endpoint).Inc()
+	if status >= 400 {
+		m.errors.With(endpoint).Inc()
 	}
-}
-
-// bucketJSON is one histogram bucket: count of requests with latency in
-// (previous bound, le] microseconds. The overflow bucket has LE == nil.
-type bucketJSON struct {
-	LE    *int64 `json:"le_us"`
-	Count int64  `json:"count"`
-}
-
-type latencyJSON struct {
-	Count   int64        `json:"count"`
-	SumUS   int64        `json:"sum_us"`
-	AvgUS   int64        `json:"avg_us"`
-	MaxUS   int64        `json:"max_us"`
-	Buckets []bucketJSON `json:"buckets"`
-}
-
-type endpointJSON struct {
-	Requests int64       `json:"requests"`
-	Errors   int64       `json:"errors"`
-	Timeouts int64       `json:"timeouts"`
-	Latency  latencyJSON `json:"latency"`
-}
-
-type processJSON struct {
-	Goroutines     int    `json:"goroutines"`
-	HeapAllocBytes uint64 `json:"heap_alloc_bytes"`
-	NumGC          uint32 `json:"num_gc"`
-}
-
-type metricsJSON struct {
-	UptimeSeconds float64                 `json:"uptime_seconds"`
-	Process       processJSON             `json:"process"`
-	Endpoints     map[string]endpointJSON `json:"endpoints"`
-}
-
-func (m *Metrics) snapshot() metricsJSON {
-	var ms runtime.MemStats
-	runtime.ReadMemStats(&ms)
-	out := metricsJSON{
-		UptimeSeconds: time.Since(m.start).Seconds(),
-		Process: processJSON{
-			Goroutines:     runtime.NumGoroutine(),
-			HeapAllocBytes: ms.HeapAlloc,
-			NumGC:          ms.NumGC,
-		},
-		Endpoints: make(map[string]endpointJSON, len(m.names)),
+	if status == http.StatusServiceUnavailable {
+		m.timeouts.With(endpoint).Inc()
 	}
-	for _, name := range m.names {
-		em := m.endpoints[name]
-		ej := endpointJSON{
-			Requests: em.requests.Load(),
-			Errors:   em.errors.Load(),
-			Timeouts: em.timeouts.Load(),
-		}
-		ej.Latency.Count = ej.Requests
-		ej.Latency.SumUS = em.latencySumUS.Load()
-		ej.Latency.MaxUS = em.latencyMaxUS.Load()
-		if ej.Requests > 0 {
-			ej.Latency.AvgUS = ej.Latency.SumUS / ej.Requests
-		}
-		ej.Latency.Buckets = make([]bucketJSON, len(em.buckets))
-		for i := range em.buckets {
-			b := bucketJSON{Count: em.buckets[i].Load()}
-			if i < len(latencyBucketBoundsUS) {
-				bound := latencyBucketBoundsUS[i]
-				b.LE = &bound
-			}
-			ej.Latency.Buckets[i] = b
-		}
-		out.Endpoints[name] = ej
-	}
-	return out
+	m.latency.With(endpoint).Observe(elapsed.Seconds())
 }
 
-// ServeHTTP serves the metrics snapshot as JSON.
+// Registry exposes the underlying obsv registry (for Names and tests).
+func (m *Metrics) Registry() *obsv.Registry { return m.reg }
+
+// ServeHTTP renders the registry in the Prometheus text format.
 func (m *Metrics) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	enc.Encode(m.snapshot())
+	m.reg.ServeHTTP(w, r)
 }

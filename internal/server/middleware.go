@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"runtime/pprof"
 	"time"
 )
 
@@ -20,9 +21,9 @@ func (r *statusRecorder) WriteHeader(code int) {
 	r.ResponseWriter.WriteHeader(code)
 }
 
-// instrument wraps h with panic recovery, metrics recording, and
-// structured request logging — the outermost middleware of every
-// endpoint.
+// instrument wraps h with panic recovery, metrics recording, pprof
+// endpoint labels, and structured request logging — the outermost
+// middleware of every endpoint.
 func (s *Server) instrument(name string, h http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
@@ -45,7 +46,11 @@ func (s *Server) instrument(name string, h http.Handler) http.Handler {
 				"elapsed", elapsed,
 				"remote", r.RemoteAddr)
 		}()
-		h.ServeHTTP(rec, r)
+		// Label the handler's goroutine so CPU and goroutine profiles
+		// (/debug/pprof) attribute samples to endpoints.
+		pprof.Do(r.Context(), pprof.Labels("endpoint", name), func(ctx context.Context) {
+			h.ServeHTTP(rec, r.WithContext(ctx))
+		})
 	})
 }
 

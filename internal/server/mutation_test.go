@@ -155,7 +155,7 @@ func TestLiveStatsExposed(t *testing.T) {
 	if st.Live == nil {
 		t.Fatal("live stats section missing on a live-mode server")
 	}
-	if st.Live.Epoch == 0 || st.Live.AppliedOps != 1 || st.Live.Publishes == 0 {
+	if st.Live.Epoch == 0 || st.Live.AppliedMutations != 1 || st.Live.Publishes == 0 {
 		t.Fatalf("live stats %+v, want epoch > 0, applied 1, publishes > 0", st.Live)
 	}
 	if st.Index.Objects != 1 {
@@ -257,7 +257,7 @@ func TestConcurrentMutationsAndQueries(t *testing.T) {
 	}
 	var st statsResponse
 	do(t, h, "GET", "/stats", "", &st)
-	if st.Live.PendingOps != 0 {
-		t.Fatalf("pending ops %d after quiescence, want 0", st.Live.PendingOps)
+	if st.Live.PendingMutations != 0 {
+		t.Fatalf("pending mutations %d after quiescence, want 0", st.Live.PendingMutations)
 	}
 }

@@ -78,6 +78,25 @@ type Config struct {
 	// and aggregates their core counters for GET /stats.
 	CollectStats bool
 
+	// EnableTracing, when true, evaluates every single query on a traced
+	// view and attaches the per-stage trace to the response (the "trace"
+	// field). Clients can also request a trace per call — `"trace": true`
+	// in the body or an `X-Trace: 1` request header — without enabling it
+	// globally. Tracing implies CollectStats semantics for the traced
+	// request (the trace embeds the core counters).
+	EnableTracing bool
+
+	// SlowQueryThreshold, when positive, traces every single query and
+	// logs (level WARN) any whose evaluation takes at least this long,
+	// with the full trace attached. Independent of EnableTracing: slow
+	// queries are traced internally even when no client asked for one.
+	SlowQueryThreshold time.Duration
+
+	// BuildDuration, if known, is the wall time of the initial index
+	// build or snapshot load; it is exported as the
+	// twolayer_index_build_seconds gauge.
+	BuildDuration time.Duration
+
 	// EnablePprof mounts net/http/pprof under /debug/pprof/.
 	EnablePprof bool
 }
@@ -141,7 +160,8 @@ func New(cfg Config) *Server {
 	if s.durable != nil {
 		names = append(names, "checkpoint")
 	}
-	s.metrics = newMetrics(names)
+	s.metrics = newMetrics(s, names)
+	s.metrics.buildDur.Set(cfg.BuildDuration.Seconds())
 	s.routes()
 	return s
 }

@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net"
 	"net/http"
@@ -108,6 +109,14 @@ func TestEveryMetricsEndpointRegistered(t *testing.T) {
 		"stats":        "/stats",
 		"healthz":      "/healthz",
 	}
+	// Every routed endpoint's series exists (at zero) before any traffic.
+	before := scrapeMetrics(t, s.Handler())
+	for name := range paths {
+		key := fmt.Sprintf(`twolayer_http_requests_total{endpoint=%q}`, name)
+		if _, ok := before[key]; !ok {
+			t.Errorf("endpoint %s has no pre-registered %s series", name, key)
+		}
+	}
 	for name, path := range paths {
 		method := "POST"
 		body := `{}`
@@ -115,14 +124,20 @@ func TestEveryMetricsEndpointRegistered(t *testing.T) {
 			method, body = "GET", ""
 		}
 		do(t, s.Handler(), method, path, body, nil)
-		var m metricsJSON
-		do(t, s.Handler(), "GET", "/metrics", "", &m)
-		if m.Endpoints[name].Requests == 0 {
+		m := scrapeMetrics(t, s.Handler())
+		if m[fmt.Sprintf(`twolayer_http_requests_total{endpoint=%q}`, name)] == 0 {
 			t.Errorf("endpoint %s (%s) not recorded in /metrics", name, path)
 		}
 	}
-	if len(paths) != len(s.metrics.names) {
-		t.Errorf("metrics registry has %d endpoints, routes table has %d: %v",
-			len(s.metrics.names), len(paths), s.metrics.names)
+	// And nothing extra: the registry holds exactly one requests series
+	// per routed endpoint (the /metrics scrape above includes them all).
+	series := 0
+	for key := range before {
+		if strings.HasPrefix(key, "twolayer_http_requests_total{") {
+			series++
+		}
+	}
+	if series != len(paths) {
+		t.Errorf("metrics registry has %d endpoint series, routes table has %d", series, len(paths))
 	}
 }

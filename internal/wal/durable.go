@@ -80,6 +80,15 @@ type Stats struct {
 	CheckpointEpoch uint64        // epoch of the newest checkpoint, 0 if none
 	CheckpointAge   time.Duration // since the newest checkpoint, 0 if none
 	SinceCheckpoint int64         // mutations journaled since that checkpoint
+	// Latency accumulators, all cumulative since Open: AppendTotal is the
+	// wall time spent inside successful journal appends (encode + write,
+	// plus the per-batch fsync under SyncAlways), FsyncTotal the time
+	// inside fsync calls regardless of trigger, CheckpointTotal the time
+	// writing checkpoint files. Divide by the corresponding count for a
+	// mean; export as counters to rate in monitoring systems.
+	AppendTotal     time.Duration
+	FsyncTotal      time.Duration
+	CheckpointTotal time.Duration
 	// Failed is non-empty once the log has hit an unrecoverable write or
 	// fsync error (the on-disk tail can no longer be trusted): every
 	// subsequent mutation is rejected with this error. A non-empty value
@@ -101,11 +110,12 @@ type DurableLive struct {
 	logger *slog.Logger
 	rec    RecoveryInfo
 
-	ckptMu    sync.Mutex // serializes checkpoint writes
-	ckptEpoch atomic.Uint64
-	ckptNS    atomic.Int64 // unixnano of the newest checkpoint, 0 if none
-	ckptCount atomic.Uint64
-	sinceCkpt atomic.Int64
+	ckptMu      sync.Mutex // serializes checkpoint writes
+	ckptEpoch   atomic.Uint64
+	ckptNS      atomic.Int64 // unixnano of the newest checkpoint, 0 if none
+	ckptCount   atomic.Uint64
+	ckptTotalNS atomic.Int64 // cumulative wall time writing checkpoints
+	sinceCkpt   atomic.Int64
 
 	ckptCh    chan struct{}
 	stop      chan struct{}
@@ -227,10 +237,12 @@ func (d *DurableLive) Checkpoint() (uint64, error) {
 	// if the write fails the count is restored so the automatic trigger
 	// refires promptly instead of waiting out a whole fresh interval.
 	saved := d.sinceCkpt.Swap(0)
+	start := time.Now()
 	if err := writeCheckpoint(d.dir, snap); err != nil {
 		d.sinceCkpt.Add(saved)
 		return 0, err
 	}
+	d.ckptTotalNS.Add(time.Since(start).Nanoseconds())
 	d.ckptEpoch.Store(epoch)
 	d.ckptNS.Store(time.Now().UnixNano())
 	d.ckptCount.Add(1)
@@ -318,6 +330,9 @@ func (d *DurableLive) Stats() Stats {
 		Checkpoints:     d.ckptCount.Load(),
 		CheckpointEpoch: d.ckptEpoch.Load(),
 		SinceCheckpoint: d.sinceCkpt.Load(),
+		AppendTotal:     time.Duration(ls.appendNS),
+		FsyncTotal:      time.Duration(ls.syncNS),
+		CheckpointTotal: time.Duration(d.ckptTotalNS.Load()),
 		Recovery:        d.rec,
 	}
 	if ls.failed != nil {

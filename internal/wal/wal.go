@@ -137,6 +137,8 @@ type logStats struct {
 	fsyncs     uint64
 	rotations  uint64
 	pruned     uint64
+	appendNS   int64 // cumulative wall time inside successful Appends
+	syncNS     int64 // cumulative wall time inside fsync calls
 	lastAppend time.Time
 	failed     error // non-nil once the log is poisoned
 }
@@ -162,6 +164,8 @@ type appendLog struct {
 	fsyncs     uint64
 	rotations  uint64
 	pruned     uint64
+	appendNS   int64
+	syncNS     int64
 	lastAppend time.Time
 
 	stop     chan struct{} // closes the interval syncer
@@ -269,6 +273,7 @@ func encodeFrame(buf []byte, epoch uint64, muts []core.Mutation) []byte {
 // pre-frame offset; if even the rollback fails, the log is poisoned and
 // every later Append is rejected.
 func (l *appendLog) Append(epoch uint64, muts []core.Mutation) error {
+	start := time.Now()
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.failed != nil {
@@ -305,6 +310,7 @@ func (l *appendLog) Append(epoch uint64, muts []core.Mutation) error {
 	l.appended++
 	l.appendedB += uint64(n)
 	l.lastAppend = time.Now()
+	l.appendNS += l.lastAppend.Sub(start).Nanoseconds()
 	return nil
 }
 
@@ -352,7 +358,10 @@ func (l *appendLog) syncLocked() error {
 	if !l.dirty {
 		return nil
 	}
-	if err := l.f.Sync(); err != nil {
+	t0 := time.Now()
+	err := l.f.Sync()
+	l.syncNS += time.Since(t0).Nanoseconds()
+	if err != nil {
 		l.failed = fmt.Errorf("wal: fsync: %w", err)
 		return l.failed
 	}
@@ -437,6 +446,8 @@ func (l *appendLog) Stats() logStats {
 		fsyncs:     l.fsyncs,
 		rotations:  l.rotations,
 		pruned:     l.pruned,
+		appendNS:   l.appendNS,
+		syncNS:     l.syncNS,
 		lastAppend: l.lastAppend,
 		failed:     l.failed,
 	}

@@ -14,7 +14,9 @@ import (
 // with early break supported. The iterators are thin adapters over the
 // callback forms (WindowUntil, DiskUntil, KNN) — same results, same
 // order, same cost; breaking out of the loop terminates the underlying
-// scan at tile granularity.
+// scan at tile granularity. On an Instrumented or Traced view the
+// adapters feed the view's Stats/Trace exactly like the callback forms,
+// since all counting happens below them in the core scan.
 
 // WindowAll returns an iterator over (id, mbr) of every object whose MBR
 // intersects w, each exactly once. Breaking out of the loop stops the

@@ -1,31 +1,3 @@
-// Package twolayer is an in-memory spatial index for non-point objects
-// (rectangles, polygons, linestrings), implementing the two-layer
-// partitioning of Tsitsigkos et al., "A Two-layer Partitioning for
-// Non-point Spatial Data" (ICDE 2021).
-//
-// The index is a regular grid whose tiles are secondarily partitioned
-// into four object classes. Range queries read, per tile, only the
-// classes that cannot produce duplicate results, so — unlike classic
-// replicating grid indices — no duplicate is ever generated or
-// eliminated, and border tiles need at most one coordinate comparison per
-// object and dimension. An optional decomposed storage mode ("2-layer+")
-// answers border tiles with binary searches on sorted coordinate tables.
-//
-// # Quick start
-//
-//	objects := []twolayer.Rect{
-//		{MinX: 0.1, MinY: 0.1, MaxX: 0.2, MaxY: 0.2},
-//		{MinX: 0.5, MinY: 0.4, MaxX: 0.8, MaxY: 0.6},
-//	}
-//	idx := twolayer.BuildRects(objects, twolayer.Options{GridSize: 64})
-//	idx.Window(twolayer.Rect{MinX: 0, MinY: 0, MaxX: 0.5, MaxY: 0.5},
-//		func(id uint32, mbr twolayer.Rect) { fmt.Println(id, mbr) })
-//
-// Exact (non-rectangular) geometries are supported through BuildGeoms;
-// window and disk queries over them use a secondary filter that skips the
-// expensive refinement step for most results. Batches of queries can be
-// evaluated with cache-conscious tile-at-a-time processing, serially or
-// on all cores.
 package twolayer
 
 import (
@@ -60,6 +32,12 @@ type (
 	// AtomicStats merges per-query Stats concurrently (see
 	// Index.Instrumented).
 	AtomicStats = core.AtomicStats
+	// Trace is a per-query observability record: the Stats counters plus
+	// wall-clock stage timings (see Index.Traced).
+	Trace = core.Trace
+	// PartitionStats summarizes the shape of the two-layer partitioning
+	// (see Index.PartitionStats).
+	PartitionStats = core.PartitionStats
 	// Neighbor is one k-nearest-neighbor result.
 	Neighbor = core.Neighbor
 	// Region is an arbitrary-shape query range (Disk and *Polygon
@@ -458,6 +436,24 @@ func (ix *Index) Instrumented() (*Index, *Stats) {
 	s := &Stats{}
 	return &Index{core: ix.core.View(s), dataset: ix.dataset}, s
 }
+
+// Traced returns a read view like Instrumented whose queries additionally
+// record per-stage wall-clock timings into the returned private Trace:
+// the embedded Stats counters plus the split between filtering and
+// exact-geometry refinement time. Stamp the total with Trace.Finish when
+// the query (or request) completes. Any number of traced views may run
+// concurrently, each with its own Trace; reuse a view/Trace pair across
+// sequential queries by calling Trace.Reset between them.
+func (ix *Index) Traced() (*Index, *Trace) {
+	tr := &Trace{}
+	return &Index{core: ix.core.ViewTraced(tr), dataset: ix.dataset}, tr
+}
+
+// PartitionStats walks the tile directory once and summarizes the current
+// partitioning: occupied tiles, per-class entry counts, replication
+// factor, tile-occupancy skew. Safe to call concurrently with queries on
+// a static index or a Live snapshot.
+func (ix *Index) PartitionStats() PartitionStats { return ix.core.PartitionStats() }
 
 // HasExactGeometries reports whether the index can answer exact-geometry
 // queries (WindowExact, DiskExact, KNNExact): true for indices built with
