@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check build fmt-check vet test test-race race-hot bench bench-build bench-json fuzz-short experiments docs-check
+.PHONY: check build fmt-check vet test test-race race-hot bench bench-build bench-json bench-shard fuzz-short experiments docs-check
 
 check: build fmt-check vet test-race docs-check
 
@@ -61,6 +61,18 @@ bench-json:
 	$(GO) build -o /tmp/benchjson ./cmd/benchjson
 	$(GO) test -run '^$$' -bench '$(BENCH_JSON_PATTERN)' -benchmem \
 		-benchtime $(BENCH_JSON_TIME) . | /tmp/benchjson
+
+# Sharded-engine benchmarks as a committed JSON report (BENCH_3.json):
+# scatter-gather window queries and live mutation throughput at 1/2/4/8
+# shards. The Apply series is the sharding acceptance measurement —
+# mutation throughput at 4 shards must be at least 2x the 1-shard run
+# (each shard's copy-on-write publish clones only its own slab).
+BENCH_SHARD_TIME ?= 1s
+
+bench-shard:
+	$(GO) build -o /tmp/benchjson ./cmd/benchjson
+	$(GO) test -run '^$$' -bench 'BenchmarkSharded' -benchmem \
+		-benchtime $(BENCH_SHARD_TIME) . | /tmp/benchjson -o BENCH_3.json
 
 # Short fuzz pass over every fuzz target (CI runs this): seconds per
 # target, catching format-level regressions without a long campaign.

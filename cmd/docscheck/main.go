@@ -26,8 +26,11 @@ import (
 	"github.com/twolayer/twolayer/internal/server"
 )
 
-// registeredMetricNames builds a throwaway durable-mode server (every
-// instrument group present) and returns its registry's family names.
+// registeredMetricNames builds two throwaway servers — durable mode
+// (http, query, index, partition, live, WAL, checkpoint, process
+// groups) and sharded live mode (the twolayer_shard_* group) — and
+// returns the union of their registries' family names, so every
+// registerable metric family is covered.
 func registeredMetricNames() ([]string, error) {
 	dir, err := os.MkdirTemp("", "docscheck-wal-")
 	if err != nil {
@@ -46,11 +49,30 @@ func registeredMetricNames() ([]string, error) {
 		return nil, err
 	}
 	defer dl.Close()
-	s := server.New(server.Config{
-		Durable: dl,
-		Logger:  slog.New(slog.NewTextHandler(io.Discard, nil)),
-	})
-	return s.Metrics().Registry().Names(), nil
+	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
+	s := server.New(server.Config{Durable: dl, Logger: logger})
+
+	sl, err := twolayer.NewShardedLive(
+		twolayer.Options{GridSize: 4, Space: twolayer.Rect{MaxX: 1, MaxY: 1}},
+		twolayer.LiveOptions{},
+		twolayer.ShardedOptions{Shards: 2})
+	if err != nil {
+		return nil, err
+	}
+	defer sl.Close()
+	ss := server.New(server.Config{ShardedLive: sl, Logger: logger})
+
+	names := s.Metrics().Registry().Names()
+	have := make(map[string]bool, len(names))
+	for _, n := range names {
+		have[n] = true
+	}
+	for _, n := range ss.Metrics().Registry().Names() {
+		if !have[n] {
+			names = append(names, n)
+		}
+	}
+	return names, nil
 }
 
 func checkMetricsDocumented(docPath string) (failures []string) {

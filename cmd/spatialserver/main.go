@@ -15,6 +15,15 @@
 //	spatialserver -snapshot roads.idx -live -rebuild-every 4096
 //	spatialserver -data roads.csv -data-dir /var/lib/spatial -fsync always
 //	spatialserver -data-dir /var/lib/spatial   # recover and keep serving
+//	spatialserver -data roads.csv -shards 8    # scatter-gather serving
+//	spatialserver -data roads.csv -shards 8 -live -data-dir /var/lib/spatial
+//
+// With -shards N the server routes every endpoint through a sharded
+// scatter-gather engine: N self-contained two-layer indices over
+// contiguous slabs of the tile space, queried in parallel with
+// duplicate-free merging (docs/SHARDING.md). Combined with -live each
+// shard runs its own apply loop; combined with -data-dir each shard
+// journals to its own write-ahead log and recovery is concurrent.
 //
 // With -data-dir the server runs durably: mutations are written ahead to
 // a segmented log before they are acknowledged, checkpoints are taken in
@@ -44,6 +53,28 @@ func fail(err error) {
 	os.Exit(1)
 }
 
+// loadGeoms reads the dataset file (CSV, or WKT if the name ends in
+// .wkt) and returns its geometries.
+func loadGeoms(dataPath string) []twolayer.Geometry {
+	f, err := os.Open(dataPath)
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+	if strings.HasSuffix(dataPath, ".wkt") {
+		d, err := dataio.ReadWKT(f)
+		if err != nil {
+			fail(fmt.Errorf("%s: %w", dataPath, err))
+		}
+		return datasetGeoms(d.Len(), d.Geom)
+	}
+	d, err := dataio.ReadDataset(f)
+	if err != nil {
+		fail(fmt.Errorf("%s: %w", dataPath, err))
+	}
+	return datasetGeoms(d.Len(), d.Geom)
+}
+
 // loadIndex builds the index from -data (CSV or WKT, with exact
 // geometries) or loads a -snapshot (MBR-only). The returned duration is
 // the build/load wall time, exported as twolayer_index_build_seconds.
@@ -52,25 +83,7 @@ func loadIndex(dataPath, snapshotPath string, gridSize int, decompose bool, logg
 	case dataPath != "" && snapshotPath != "":
 		fail(fmt.Errorf("-data and -snapshot are mutually exclusive"))
 	case dataPath != "":
-		f, err := os.Open(dataPath)
-		if err != nil {
-			fail(err)
-		}
-		defer f.Close()
-		var geoms []twolayer.Geometry
-		if strings.HasSuffix(dataPath, ".wkt") {
-			d, err := dataio.ReadWKT(f)
-			if err != nil {
-				fail(fmt.Errorf("%s: %w", dataPath, err))
-			}
-			geoms = datasetGeoms(d.Len(), d.Geom)
-		} else {
-			d, err := dataio.ReadDataset(f)
-			if err != nil {
-				fail(fmt.Errorf("%s: %w", dataPath, err))
-			}
-			geoms = datasetGeoms(d.Len(), d.Geom)
-		}
+		geoms := loadGeoms(dataPath)
 		start := time.Now()
 		idx := twolayer.BuildGeoms(geoms, twolayer.Options{GridSize: gridSize, Decompose: decompose})
 		elapsed := time.Since(start)
@@ -123,6 +136,7 @@ func main() {
 	trace := flag.Bool("trace", false, "attach a per-stage trace to every single-query response (clients can also opt in per request)")
 	slowQueryMS := flag.Int("slow-query-ms", 0, "log single queries slower than this many milliseconds, with their trace (0 = off)")
 	live := flag.Bool("live", false, "serve in live mode: accept updates on POST /insert, /delete, /bulk (disables exact-geometry queries)")
+	shards := flag.Int("shards", 0, "serve through a scatter-gather engine with this many spatial shards (0 = unsharded, negative = one per CPU)")
 	rebuildEvery := flag.Int("rebuild-every", 0, "live mode: re-run the decomposed build after this many mutations (0 = default, negative = never)")
 	dataDir := flag.String("data-dir", "", "durable live mode: directory for the write-ahead log and checkpoints; implies -live, recovers automatically on startup")
 	fsync := flag.String("fsync", "interval", `durable mode fsync policy: "always", "interval", or "none"`)
@@ -144,11 +158,43 @@ func main() {
 	}
 
 	durable := *dataDir != ""
+	sharded := *shards != 0
+	if sharded {
+		// A snapshot deserializes into a single index without the source
+		// dataset, so it can neither become nor be produced from shards.
+		if *snapshotPath != "" {
+			fail(fmt.Errorf("-shards is incompatible with -snapshot (shards build from -data)"))
+		}
+		if *savePath != "" {
+			fail(fmt.Errorf("-shards is incompatible with -save"))
+		}
+	}
 	var idx *twolayer.Index
+	var shardedIdx *twolayer.Sharded
 	var buildDur time.Duration
-	if !durable || *dataPath != "" || *snapshotPath != "" {
+	switch {
+	case sharded:
 		// In durable mode a data source is only a seed for an empty
 		// -data-dir; a dir with prior state recovers instead.
+		if !durable && *dataPath == "" {
+			fail(fmt.Errorf("-shards requires -data (or -data-dir to recover)"))
+		}
+		if *dataPath != "" {
+			geoms := loadGeoms(*dataPath)
+			start := time.Now()
+			shardedIdx = twolayer.BuildShardedGeoms(geoms,
+				twolayer.Options{GridSize: *gridSize, Decompose: *decompose},
+				twolayer.ShardedOptions{Shards: *shards})
+			buildDur = time.Since(start)
+			nx, ny := shardedIdx.GridDims()
+			logger.Info("sharded engine built",
+				"objects", shardedIdx.Len(),
+				"shards", shardedIdx.Shards(),
+				"grid", fmt.Sprintf("%dx%d", nx, ny),
+				"replication", fmt.Sprintf("%.3f", shardedIdx.ReplicationFactor()),
+				"elapsed", buildDur.Round(time.Millisecond))
+		}
+	case !durable || *dataPath != "" || *snapshotPath != "":
 		idx, buildDur = loadIndex(*dataPath, *snapshotPath, *gridSize, *decompose, logger)
 	}
 	if *savePath != "" {
@@ -180,6 +226,42 @@ func main() {
 		EnablePprof:        *pprofFlag,
 	}
 	switch {
+	case durable && sharded:
+		policy, err := twolayer.ParseSyncPolicy(*fsync)
+		if err != nil {
+			fail(err)
+		}
+		dl, infos, err := twolayer.OpenShardedDurable(
+			twolayer.Options{GridSize: *gridSize, Decompose: *decompose},
+			twolayer.LiveOptions{RebuildEvery: *rebuildEvery},
+			twolayer.ShardedDurableOptions{
+				Dir:             *dataDir,
+				Fsync:           policy,
+				FsyncInterval:   *fsyncInterval,
+				CheckpointEvery: *checkpointEvery,
+				SegmentBytes:    *segmentBytes,
+				Seed:            shardedIdx,
+				Logger:          logger,
+			},
+			twolayer.ShardedOptions{Shards: *shards})
+		if err != nil {
+			if shardedIdx == nil {
+				err = fmt.Errorf("%w (a fresh -data-dir needs -data to seed it)", err)
+			}
+			fail(err)
+		}
+		defer dl.Close()
+		cfg.ShardedDurable = dl
+		replayed := 0
+		for _, info := range infos {
+			replayed += info.ReplayedRecords
+		}
+		logger.Info("sharded durable live mode",
+			"dir", *dataDir,
+			"fsync", policy.String(),
+			"shards", dl.Live().Shards(),
+			"objects", dl.Snapshot().Len(),
+			"replayed_records", replayed)
 	case durable:
 		policy, err := twolayer.ParseSyncPolicy(*fsync)
 		if err != nil {
@@ -213,6 +295,11 @@ func main() {
 			"checkpoint_loaded", info.CheckpointLoaded,
 			"replayed_records", info.ReplayedRecords,
 			"truncated_tail", info.TruncatedTail)
+	case *live && sharded:
+		lv := twolayer.ShardedLiveFrom(shardedIdx, twolayer.LiveOptions{RebuildEvery: *rebuildEvery})
+		defer lv.Close()
+		cfg.ShardedLive = lv
+		logger.Info("sharded live mode", "shards", lv.Shards(), "rebuild_every", *rebuildEvery)
 	case *live:
 		lv := twolayer.LiveFrom(idx, twolayer.LiveOptions{RebuildEvery: *rebuildEvery})
 		defer lv.Close()
@@ -222,14 +309,33 @@ func main() {
 		if *rebuildEvery != 0 {
 			fail(fmt.Errorf("-rebuild-every requires -live"))
 		}
-		cfg.Index = idx
+		if sharded {
+			cfg.Sharded = shardedIdx
+		} else {
+			cfg.Index = idx
+		}
 	}
 	srv := server.New(cfg)
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
+	// Log the effective topology, not the raw flags: -data-dir implies
+	// live mode, and on recovery the manifest's shard count supersedes
+	// -shards.
+	effLive := cfg.Live != nil || cfg.Durable != nil ||
+		cfg.ShardedLive != nil || cfg.ShardedDurable != nil
+	effShards := 0
+	switch {
+	case cfg.Sharded != nil:
+		effShards = cfg.Sharded.Shards()
+	case cfg.ShardedLive != nil:
+		effShards = cfg.ShardedLive.Shards()
+	case cfg.ShardedDurable != nil:
+		effShards = cfg.ShardedDurable.Live().Shards()
+	}
 	logger.Info("serving", "addr", *addr, "pprof", *pprofFlag, "stats", *stats,
-		"trace", *trace, "slow_query_ms", *slowQueryMS, "live", *live, "timeout", *timeout)
+		"trace", *trace, "slow_query_ms", *slowQueryMS, "live", effLive,
+		"shards", effShards, "timeout", *timeout)
 	if err := srv.ListenAndServe(ctx, *addr); err != nil {
 		fail(err)
 	}

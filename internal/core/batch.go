@@ -33,23 +33,37 @@ func (s BatchStrategy) String() string {
 	return "queries-based"
 }
 
+// normalizeBatch resolves the parameter contract every batch entry point
+// (BatchWindow, BatchDisk and their Counts forms) shares: any strategy
+// other than TilesBased — including out-of-range values — falls back to
+// the QueriesBased zero value, and threads <= 0 selects
+// runtime.NumCPU(). Keeping this in one place guarantees the window and
+// disk paths cannot drift apart again.
+func normalizeBatch(strategy BatchStrategy, threads int) (BatchStrategy, int) {
+	if strategy != TilesBased {
+		strategy = QueriesBased
+	}
+	if threads <= 0 {
+		threads = defaultThreads()
+	}
+	return strategy, threads
+}
+
 // BatchWindow evaluates a batch of window queries and streams results to
 // fn, which receives the query index alongside each matching entry. Each
 // (query, object) pair is delivered exactly once, with no duplicates.
 // With threads > 1, fn is invoked concurrently and must be safe for
 // concurrent use; with TilesBased this holds even for a single query
 // index, because a query's tiles are processed by different workers.
-// threads <= 0 selects runtime.NumCPU().
+// Unknown strategies fall back to QueriesBased; threads <= 0 selects
+// runtime.NumCPU(). BatchDisk resolves both identically.
 func (ix *Index) BatchWindow(queries []geom.Rect, strategy BatchStrategy, threads int, fn func(q int, e spatial.Entry)) {
-	if threads <= 0 {
-		threads = defaultThreads()
-	}
-	switch strategy {
-	case TilesBased:
+	strategy, threads = normalizeBatch(strategy, threads)
+	if strategy == TilesBased {
 		ix.batchTilesBased(queries, threads, fn)
-	default:
-		ix.batchQueriesBased(queries, threads, fn)
+		return
 	}
+	ix.batchQueriesBased(queries, threads, fn)
 }
 
 // BatchWindowCounts evaluates the batch and returns the result cardinality

@@ -12,11 +12,11 @@ import (
 // (Section VI applies to any range query; disks reuse the per-query tile
 // cover between the accumulation and evaluation steps). fn receives the
 // query index with each result and must be concurrency-safe when
-// threads != 1. threads <= 0 selects all cores.
+// threads != 1. Parameter handling matches BatchWindow exactly: unknown
+// strategies fall back to QueriesBased, threads <= 0 selects
+// runtime.NumCPU().
 func (ix *Index) BatchDisk(queries []geom.Disk, strategy BatchStrategy, threads int, fn func(q int, e spatial.Entry)) {
-	if threads <= 0 {
-		threads = defaultThreads()
-	}
+	strategy, threads = normalizeBatch(strategy, threads)
 	if strategy == TilesBased {
 		ix.batchDiskTilesBased(queries, threads, fn)
 		return

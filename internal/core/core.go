@@ -121,6 +121,12 @@ func (o Options) Validate() error {
 	return nil
 }
 
+// Resolved returns the options with every defaulted field filled in —
+// the exact configuration New would build with. Layout computations that
+// must agree with the grid (the shard engine derives per-shard column
+// slabs from the global grid) start from the resolved options.
+func (o Options) Resolved() Options { return o.withDefaults() }
+
 func (o Options) withDefaults() Options {
 	if o.NX == 0 {
 		o.NX = 256
@@ -363,8 +369,27 @@ func (ix *Index) Grid() *grid.Grid { return ix.g }
 // Len returns the number of distinct objects in the index.
 func (ix *Index) Len() int { return ix.size }
 
+// ForEach visits every distinct entry exactly once, in unspecified
+// order. Each object has exactly one class-A copy — the one in its
+// reference tile (the tile its clamped bottom-left corner falls in) —
+// so scanning the A lists enumerates the index without deduplication.
+func (ix *Index) ForEach(fn func(e spatial.Entry)) {
+	for i := range ix.tiles {
+		for _, e := range ix.tiles[i].classes[ClassA] {
+			fn(e)
+		}
+	}
+}
+
 // Dataset returns the dataset the index was built over, or nil.
 func (ix *Index) Dataset() *spatial.Dataset { return ix.dataset }
+
+// SetDataset replaces the dataset reference backing the refinement step
+// (WindowExact, DiskExact, KNNExact). The shard engine builds each shard
+// over the subset of entries intersecting its slab, then points every
+// shard's refinement at the full dataset so exact-geometry lookups by
+// global ID stay correct.
+func (ix *Index) SetDataset(d *spatial.Dataset) { ix.dataset = d }
 
 // tileAt returns the tile stored for (ix,iy), or nil when empty.
 func (ix *Index) tileAt(tx, ty int) *tile {

@@ -46,6 +46,13 @@ func (ix *Index) WindowExact(w geom.Rect, mode RefineMode, fn func(id spatial.ID
 	if ix.dataset == nil {
 		panic("core: WindowExact requires an index built over a Dataset")
 	}
+	ix.windowExactEntries(w, mode, func(e spatial.Entry) { fn(e.ID) })
+}
+
+// windowExactEntries is WindowExact delivering the full grid entry (ID
+// plus MBR) per result — sharding needs the MBR to apply its ownership
+// rule to refined results too. The caller must have checked ix.dataset.
+func (ix *Index) windowExactEntries(w geom.Rect, mode RefineMode, fn func(e spatial.Entry)) {
 	if !w.Valid() {
 		return
 	}
@@ -62,7 +69,7 @@ func (ix *Index) WindowExact(w geom.Rect, mode RefineMode, fn func(id spatial.ID
 }
 
 // windowExactOnTile runs filtering plus refinement on one tile.
-func (ix *Index) windowExactOnTile(t *tile, tx, ty, qx0, qy0 int, w geom.Rect, mode RefineMode, fn func(spatial.ID)) {
+func (ix *Index) windowExactOnTile(t *tile, tx, ty, qx0, qy0 int, w geom.Rect, mode RefineMode, fn func(spatial.Entry)) {
 	first := tx == qx0
 	top := ty == qy0
 	plan := ix.planFor(tx, ty, w)
@@ -104,7 +111,7 @@ func (ix *Index) windowExactOnTile(t *tile, tx, ty, qx0, qy0 int, w geom.Rect, m
 
 // windowVerifier builds the per-candidate refinement callback for one
 // class of one tile.
-func (ix *Index) windowVerifier(c Class, w geom.Rect, mode RefineMode, knownXLow, knownYLow bool, fn func(spatial.ID)) func(spatial.Entry) {
+func (ix *Index) windowVerifier(c Class, w geom.Rect, mode RefineMode, knownXLow, knownYLow bool, fn func(spatial.Entry)) func(spatial.Entry) {
 	s := ix.Stats
 	refine := func(e spatial.Entry) {
 		if s != nil {
@@ -117,12 +124,12 @@ func (ix *Index) windowVerifier(c Class, w geom.Rect, mode RefineMode, knownXLow
 			hit := ix.dataset.Geom(e.ID).IntersectsRect(w)
 			tr.RefineNS += time.Since(t0).Nanoseconds()
 			if hit {
-				fn(e.ID)
+				fn(e)
 			}
 			return
 		}
 		if ix.dataset.Geom(e.ID).IntersectsRect(w) {
-			fn(e.ID)
+			fn(e)
 		}
 	}
 	if mode == RefineSimple {
@@ -163,7 +170,7 @@ func (ix *Index) windowVerifier(c Class, w geom.Rect, mode RefineMode, knownXLow
 			if s != nil {
 				s.SecondaryFilterHits++
 			}
-			fn(e.ID)
+			fn(e)
 			return
 		}
 		refine(e)
@@ -177,6 +184,13 @@ func (ix *Index) DiskExact(center geom.Point, radius float64, mode RefineMode, f
 	if ix.dataset == nil {
 		panic("core: DiskExact requires an index built over a Dataset")
 	}
+	ix.diskExactEntries(center, radius, mode, func(e spatial.Entry) { fn(e.ID) })
+}
+
+// diskExactEntries is DiskExact delivering the full grid entry (ID plus
+// MBR) per result, for the same reason as windowExactEntries. The caller
+// must have checked ix.dataset.
+func (ix *Index) diskExactEntries(center geom.Point, radius float64, mode RefineMode, fn func(e spatial.Entry)) {
 	s := ix.Stats
 	r2 := radius * radius
 	ix.Disk(center, radius, func(e spatial.Entry) {
@@ -203,7 +217,7 @@ func (ix *Index) DiskExact(center geom.Point, radius float64, mode RefineMode, f
 				if s != nil {
 					s.SecondaryFilterHits++
 				}
-				fn(e.ID)
+				fn(e)
 				return
 			}
 		}
@@ -215,12 +229,12 @@ func (ix *Index) DiskExact(center geom.Point, radius float64, mode RefineMode, f
 			hit := ix.dataset.Geom(e.ID).IntersectsDisk(center, radius)
 			tr.RefineNS += time.Since(t0).Nanoseconds()
 			if hit {
-				fn(e.ID)
+				fn(e)
 			}
 			return
 		}
 		if ix.dataset.Geom(e.ID).IntersectsDisk(center, radius) {
-			fn(e.ID)
+			fn(e)
 		}
 	})
 }

@@ -134,13 +134,24 @@ func classCounts64(v [4]int64) classCountsJSON {
 	return classCountsJSON{A: v[0], B: v[1], C: v[2], D: v[3]}
 }
 
+// shardSpanJSON is one shard's slice of a scatter-gather query in a
+// trace: which shard scanned, its wall time, and the results it
+// contributed after cross-shard deduplication.
+type shardSpanJSON struct {
+	Shard     int   `json:"shard"`
+	ElapsedUS int64 `json:"elapsed_us"`
+	Results   int   `json:"results"`
+}
+
 // traceJSON is the per-query trace attached to responses (the "trace"
 // field) when tracing was requested: wall-clock stage timings plus the
-// full core counter set of this one evaluation. The schema is
-// documented in docs/OBSERVABILITY.md.
+// full core counter set of this one evaluation. On a sharded server the
+// core counters are zero and Shards carries the per-shard fan-out spans
+// instead. The schema is documented in docs/OBSERVABILITY.md.
 type traceJSON struct {
 	Kind                 string          `json:"kind"`
 	ElapsedUS            int64           `json:"elapsed_us"`
+	Shards               []shardSpanJSON `json:"shards,omitempty"`
 	FilterUS             int64           `json:"filter_us"`
 	RefineUS             int64           `json:"refine_us"`
 	TilesVisited         int64           `json:"tiles_visited"`
@@ -188,9 +199,10 @@ type batchResponse struct {
 
 // ---- shared helpers -------------------------------------------------------
 
-// index returns the index this request should read: the current pinned
-// snapshot in live mode (immutable; later mutations go into later
-// snapshots), or the static shared index.
+// index returns the unsharded index this request should read: the
+// current pinned snapshot in live mode (immutable; later mutations go
+// into later snapshots), or the static shared index. nil on a sharded
+// server — use shardedSnap there.
 func (s *Server) index() *twolayer.Index {
 	if s.live != nil {
 		return s.live.Snapshot()
@@ -198,9 +210,50 @@ func (s *Server) index() *twolayer.Index {
 	return s.idx
 }
 
+// shardedSnap returns the sharded engine this request should read (the
+// current snapshot in sharded live mode), or nil on an unsharded server.
+func (s *Server) shardedSnap() *twolayer.Sharded {
+	if s.sharded != nil {
+		return s.sharded
+	}
+	if s.shardedLive != nil {
+		return s.shardedLive.Snapshot()
+	}
+	return nil
+}
+
+// reader returns the introspection surface of the served engine.
+func (s *Server) reader() reader {
+	if sh := s.shardedSnap(); sh != nil {
+		return sh
+	}
+	return s.index()
+}
+
+// shardCount returns the number of shards, or 0 on an unsharded server.
+func (s *Server) shardCount() int {
+	if s.sharded != nil {
+		return s.sharded.Shards()
+	}
+	if s.shardedLive != nil {
+		return s.shardedLive.Shards()
+	}
+	return 0
+}
+
+// shardedStats snapshots the scatter-gather counters; only called on a
+// sharded server.
+func (s *Server) shardedStats() twolayer.ShardedStats {
+	if s.sharded != nil {
+		return s.sharded.Stats()
+	}
+	return s.shardedLive.ShardStats()
+}
+
 // view returns the index view this request should query through, plus a
 // flush to call once the query finished successfully. Live snapshots are
-// already private read views; static indices get one here.
+// already private read views; static indices get one here. Unsharded
+// servers only.
 func (s *Server) view() (view *twolayer.Index, flush func()) {
 	if s.live != nil {
 		snap := s.live.Snapshot()
@@ -224,17 +277,53 @@ func headerTrace(r *http.Request) bool {
 	return v != "" && v != "0" && v != "false"
 }
 
-// beginQuery prepares the view one single query evaluates on, honoring
-// CollectStats, tracing (Config.EnableTracing, the request's "trace"
-// field, or an X-Trace header), and the slow-query threshold. It
-// returns the view and a finish func to call exactly once after a
-// successful evaluation: finish merges counters into the /stats
+// beginQuery prepares the searcher one single query evaluates on,
+// honoring CollectStats, tracing (Config.EnableTracing, the request's
+// "trace" field, or an X-Trace header), and the slow-query threshold.
+// It returns the searcher and a finish func to call exactly once after
+// a successful evaluation: finish merges counters into the /stats
 // aggregate, logs the query if it crossed SlowQueryThreshold, and —
 // when the client or config asked for a trace — sets a compact X-Trace
 // response header and returns the trace to embed in the response (nil
 // otherwise).
-func (s *Server) beginQuery(w http.ResponseWriter, r *http.Request, kind string, reqTrace bool) (*twolayer.Index, func() *traceJSON) {
+//
+// On a sharded server the searcher is a (possibly traced) engine
+// snapshot: traces carry per-shard fan-out spans instead of core
+// counters, and CollectStats aggregation does not apply (the merged
+// scatter-gather counters live under twolayer_shard_* instead).
+func (s *Server) beginQuery(w http.ResponseWriter, r *http.Request, kind string, reqTrace bool) (searcher, func() *traceJSON) {
 	want := s.cfg.EnableTracing || reqTrace || headerTrace(r)
+
+	if sh := s.shardedSnap(); sh != nil {
+		if !want && s.cfg.SlowQueryThreshold <= 0 {
+			return sh, func() *traceJSON { return nil }
+		}
+		v := sh.Traced()
+		start := time.Now()
+		return v, func() *traceJSON {
+			elapsed := time.Since(start)
+			if thr := s.cfg.SlowQueryThreshold; thr > 0 && elapsed >= thr {
+				s.metrics.slow.Inc()
+				s.cfg.Logger.Warn("slow query",
+					"kind", kind,
+					"threshold", thr,
+					"elapsed_us", elapsed.Microseconds(),
+					"shards_scanned", len(v.Spans))
+			}
+			if !want {
+				return nil
+			}
+			s.metrics.traced.Inc()
+			w.Header().Set("X-Trace", fmt.Sprintf("kind=%s elapsed_us=%d shards=%d",
+				kind, elapsed.Microseconds(), len(v.Spans)))
+			tj := &traceJSON{Kind: kind, ElapsedUS: elapsed.Microseconds()}
+			for _, sp := range v.Spans {
+				tj.Shards = append(tj.Shards, shardSpanJSON(sp))
+			}
+			return tj
+		}
+	}
+
 	if !want && s.cfg.SlowQueryThreshold <= 0 {
 		view, flush := s.view()
 		return view, func() *traceJSON { flush(); return nil }
@@ -300,7 +389,7 @@ func clampLimit(limit int) (int, bool) {
 // geometries, which snapshot-loaded indices and live snapshots (whose
 // objects can be inserted after the build) do not carry.
 func (s *Server) requireExactable(w http.ResponseWriter) bool {
-	if s.live != nil || !s.idx.HasExactGeometries() {
+	if s.mut != nil || !s.reader().HasExactGeometries() {
 		writeError(w, http.StatusBadRequest,
 			"exact queries unavailable: snapshot-loaded and live indices do not carry exact geometries")
 		return false
@@ -341,21 +430,27 @@ func (s *Server) handleWindow(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case req.Exact:
 		// Exact queries are not interruptible; the deadline was checked
-		// once before the (refinement-heavy) evaluation starts.
-		view.WindowExact(rect, twolayer.RefineAvoidPlus, func(id twolayer.ID) {
+		// once before the (refinement-heavy) evaluation starts. Legacy
+		// semantics: count every match, cap only the result list.
+		q := twolayer.Query{Window: &rect, Exact: true, Mode: twolayer.RefineAvoidPlus}
+		if _, err := view.Search(q, func(id twolayer.ID, _ twolayer.Rect) bool {
 			resp.Count++
 			if req.CountOnly {
-				return
+				return true
 			}
 			if len(resp.Results) < limit {
 				resp.Results = append(resp.Results, resultJSON{ID: id})
 			} else {
 				resp.Truncated = true
 			}
-		})
+			return true
+		}); err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
 	case req.CountOnly:
 		interrupted := false
-		view.WindowUntil(rect, func(id twolayer.ID, mbr twolayer.Rect) bool {
+		view.Search(twolayer.Query{Window: &rect}, func(id twolayer.ID, _ twolayer.Rect) bool {
 			resp.Count++
 			if resp.Count%ctxPollInterval == 0 && ctx.Err() != nil {
 				interrupted = true
@@ -369,7 +464,7 @@ func (s *Server) handleWindow(w http.ResponseWriter, r *http.Request) {
 		}
 	default:
 		interrupted := false
-		view.WindowUntil(rect, func(id twolayer.ID, mbr twolayer.Rect) bool {
+		view.Search(twolayer.Query{Window: &rect}, func(id twolayer.ID, mbr twolayer.Rect) bool {
 			resp.Count++
 			resp.Results = append(resp.Results, resultJSON{ID: id, MBR: fromRect(mbr)})
 			if len(resp.Results) >= limit {
@@ -425,6 +520,8 @@ func (s *Server) handleDisk(w http.ResponseWriter, r *http.Request) {
 	resp := rangeResponse{}
 	start := time.Now()
 
+	// Legacy semantics: count every match, cap only the result list;
+	// exact results omit the MBR.
 	collect := func(id twolayer.ID, mbr *rectJSON) {
 		resp.Count++
 		if req.CountOnly {
@@ -436,14 +533,18 @@ func (s *Server) handleDisk(w http.ResponseWriter, r *http.Request) {
 			resp.Truncated = true
 		}
 	}
-	if req.Exact {
-		view.DiskExact(center, req.Radius, twolayer.RefineAvoidPlus, func(id twolayer.ID) {
+	disk := twolayer.Disk{Center: center, Radius: req.Radius}
+	q := twolayer.Query{Disk: &disk, Exact: req.Exact, Mode: twolayer.RefineAvoidPlus}
+	if _, err := view.Search(q, func(id twolayer.ID, mbr twolayer.Rect) bool {
+		if req.Exact {
 			collect(id, nil)
-		})
-	} else {
-		view.Disk(center, req.Radius, func(id twolayer.ID, mbr twolayer.Rect) {
+		} else {
 			collect(id, fromRect(mbr))
-		})
+		}
+		return true
+	}); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
 	}
 	resp.ElapsedUS = time.Since(start).Microseconds()
 	resp.Trace = finish()
@@ -535,7 +636,11 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeTimeout(w)
 		return
 	}
-	idx := s.index()
+	sh := s.shardedSnap()
+	var idx *twolayer.Index
+	if sh == nil {
+		idx = s.index()
+	}
 	resp := batchResponse{Mode: req.Mode, Threads: threads}
 	start := time.Now()
 	if len(req.Windows) > 0 {
@@ -548,7 +653,20 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			}
 			rects[i] = rj.toRect()
 		}
-		resp.Counts = idx.BatchWindowCounts(rects, strategy, threads)
+		if sh != nil {
+			qs := make([]twolayer.Query, len(rects))
+			for i := range rects {
+				qs[i] = twolayer.Query{Window: &rects[i]}
+			}
+			counts, err := sh.BatchCounts(qs, strategy, threads)
+			if err != nil {
+				writeError(w, http.StatusInternalServerError, err.Error())
+				return
+			}
+			resp.Counts = counts
+		} else {
+			resp.Counts = idx.BatchWindowCounts(rects, strategy, threads)
+		}
 	} else {
 		disks := make([]twolayer.Disk, len(req.Disks))
 		for i, dj := range req.Disks {
@@ -567,7 +685,20 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 				Radius: dj.Radius,
 			}
 		}
-		resp.Counts = idx.BatchDiskCounts(disks, strategy, threads)
+		if sh != nil {
+			qs := make([]twolayer.Query, len(disks))
+			for i := range disks {
+				qs[i] = twolayer.Query{Disk: &disks[i]}
+			}
+			counts, err := sh.BatchCounts(qs, strategy, threads)
+			if err != nil {
+				writeError(w, http.StatusInternalServerError, err.Error())
+				return
+			}
+			resp.Counts = counts
+		} else {
+			resp.Counts = idx.BatchDiskCounts(disks, strategy, threads)
+		}
 	}
 	for _, c := range resp.Counts {
 		resp.Total += c
@@ -663,9 +794,29 @@ type durabilityJSON struct {
 	LogFailed string `json:"log_failed,omitempty"`
 }
 
+// shardStatJSON is one shard's slice of the "shards" stats section.
+type shardStatJSON struct {
+	Shard       int     `json:"shard"`
+	Objects     int     `json:"objects"`
+	Epoch       uint64  `json:"epoch"`
+	Queries     uint64  `json:"queries_total"`
+	BusySeconds float64 `json:"busy_seconds_total"`
+	Results     uint64  `json:"results_total"`
+}
+
+// shardsJSON reports the scatter-gather engine of a sharded server:
+// fast-path vs fan-out query totals and per-shard load.
+type shardsJSON struct {
+	Count              int             `json:"count"`
+	SingleShardQueries uint64          `json:"single_shard_queries_total"`
+	FanoutQueries      uint64          `json:"fanout_queries_total"`
+	PerShard           []shardStatJSON `json:"per_shard"`
+}
+
 type statsResponse struct {
 	Index           indexInfoJSON   `json:"index"`
 	Partitions      partitionsJSON  `json:"partitions"`
+	Shards          *shardsJSON     `json:"shards,omitempty"`
 	Live            *liveStatsJSON  `json:"live,omitempty"`
 	Durability      *durabilityJSON `json:"durability,omitempty"`
 	StatsEnabled    bool            `json:"stats_enabled"`
@@ -675,11 +826,31 @@ type statsResponse struct {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	idx := s.index()
+	idx := s.reader()
 	nx, ny := idx.GridDims()
+	var shards *shardsJSON
+	if s.shardCount() > 0 {
+		st := s.shardedStats()
+		shards = &shardsJSON{
+			Count:              len(st.PerShard),
+			SingleShardQueries: st.SingleShard,
+			FanoutQueries:      st.Fanout,
+			PerShard:           make([]shardStatJSON, len(st.PerShard)),
+		}
+		for i, ps := range st.PerShard {
+			shards.PerShard[i] = shardStatJSON{
+				Shard:       i,
+				Objects:     ps.Objects,
+				Epoch:       ps.Epoch,
+				Queries:     ps.Queries,
+				BusySeconds: float64(ps.BusyNS) / 1e9,
+				Results:     ps.Results,
+			}
+		}
+	}
 	var live *liveStatsJSON
-	if s.live != nil {
-		ls := s.live.Stats()
+	if s.mut != nil {
+		ls := s.mut.Stats()
 		live = &liveStatsJSON{
 			Epoch:               ls.Epoch,
 			PendingMutations:    ls.Pending,
@@ -692,8 +863,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	var durability *durabilityJSON
-	if s.durable != nil {
-		ds := s.durable.Stats()
+	if s.ckpt != nil {
+		ds := s.ckpt.Stats()
 		durability = &durabilityJSON{
 			FsyncPolicy:            ds.Policy.String(),
 			Segments:               ds.Segments,
@@ -745,6 +916,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			BoundaryRatio:     ps.BoundaryRatio,
 			DecomposedTiles:   ps.DecomposedTiles,
 		},
+		Shards:          shards,
 		Live:            live,
 		Durability:      durability,
 		StatsEnabled:    s.cfg.CollectStats,
@@ -771,7 +943,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 // of the current snapshot and prunes the log segments it covers.
 func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
-	epoch, err := s.durable.Checkpoint()
+	epoch, err := s.ckpt.Checkpoint()
 	if err != nil {
 		s.cfg.Logger.Error("checkpoint failed", "err", err)
 		writeError(w, http.StatusInternalServerError, "checkpoint failed: "+err.Error())
@@ -786,10 +958,10 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	body := map[string]any{
 		"status":  "ok",
-		"objects": s.index().Len(),
+		"objects": s.reader().Len(),
 	}
-	if s.live != nil {
-		body["epoch"] = s.live.Stats().Epoch
+	if s.mut != nil {
+		body["epoch"] = s.mut.Stats().Epoch
 	}
 	writeJSON(w, http.StatusOK, body)
 }

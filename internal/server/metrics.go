@@ -3,6 +3,8 @@ package server
 import (
 	"net/http"
 	"runtime"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -40,13 +42,14 @@ import (
 type Metrics struct {
 	reg *obsv.Registry
 
-	requests *obsv.CounterVec
-	errors   *obsv.CounterVec
-	timeouts *obsv.CounterVec
-	latency  *obsv.HistogramVec
-	traced   *obsv.Counter
-	slow     *obsv.Counter
-	buildDur *obsv.Gauge
+	requests   *obsv.CounterVec
+	errors     *obsv.CounterVec
+	timeouts   *obsv.CounterVec
+	latency    *obsv.HistogramVec
+	deprecated *obsv.CounterVec
+	traced     *obsv.Counter
+	slow       *obsv.Counter
+	buildDur   *obsv.Gauge
 }
 
 // partitionCache memoizes the O(occupied tiles) partition walk between
@@ -98,6 +101,15 @@ func newMetrics(s *Server, endpointNames []string) *Metrics {
 		m.timeouts.With(n)
 		m.latency.With(n)
 	}
+	m.deprecated = r.CounterVec("twolayer_deprecated_requests_total",
+		"Requests answered by a deprecated unversioned endpoint (use the /v1 successor).", "endpoint")
+	for _, n := range endpointNames {
+		// Legacy aliases are exactly the non-v1 query/mutation names;
+		// healthz is never marked deprecated (infra probes).
+		if !strings.HasPrefix(n, "v1/") && n != "healthz" {
+			m.deprecated.With(n)
+		}
+	}
 	m.traced = r.Counter("twolayer_traced_queries_total",
 		"Queries evaluated with per-request tracing attached.")
 	m.slow = r.Counter("twolayer_slow_queries_total",
@@ -108,16 +120,16 @@ func newMetrics(s *Server, endpointNames []string) *Metrics {
 		"Wall time of the initial index build or snapshot load, 0 if unknown.")
 	r.GaugeFunc("twolayer_index_objects",
 		"Distinct objects in the served index (current snapshot in live mode).",
-		func() float64 { return float64(s.index().Len()) })
+		func() float64 { return float64(s.reader().Len()) })
 	r.GaugeFunc("twolayer_index_epoch",
 		"Copy-on-write epoch of the served index; 0 for a static build.",
-		func() float64 { return float64(s.index().Epoch()) })
+		func() float64 { return float64(s.reader().Epoch()) })
 	r.GaugeFunc("twolayer_index_memory_bytes",
 		"Approximate entry storage of the served index.",
-		func() float64 { return float64(s.index().MemoryFootprint()) })
+		func() float64 { return float64(s.reader().MemoryFootprint()) })
 
 	parts := &partitionCache{fetch: func() twolayer.PartitionStats {
-		return s.index().PartitionStats()
+		return s.reader().PartitionStats()
 	}}
 	r.GaugeFunc("twolayer_partition_grid_tiles",
 		"Total tiles of the primary grid (NX*NY).",
@@ -207,8 +219,8 @@ func newMetrics(s *Server, endpointNames []string) *Metrics {
 		func(st *twolayer.Stats) int64 { return st.DistanceComputations })
 
 	// ---- live group -------------------------------------------------------
-	if s.live != nil {
-		live := s.live
+	if s.mut != nil {
+		live := s.mut
 		r.GaugeFunc("twolayer_live_epoch",
 			"Epoch of the current published snapshot.",
 			func() float64 { return float64(live.Stats().Epoch) })
@@ -236,8 +248,8 @@ func newMetrics(s *Server, endpointNames []string) *Metrics {
 	}
 
 	// ---- wal / checkpoint group -------------------------------------------
-	if s.durable != nil {
-		durable := s.durable
+	if s.ckpt != nil {
+		durable := s.ckpt
 		r.GaugeFunc("twolayer_wal_segments",
 			"On-disk log segment files, including the active one.",
 			func() float64 { return float64(durable.Stats().Segments) })
@@ -288,6 +300,47 @@ func newMetrics(s *Server, endpointNames []string) *Metrics {
 		r.GaugeFunc("twolayer_mutations_since_checkpoint",
 			"Mutations journaled since the newest checkpoint (replay cost of a crash now).",
 			func() float64 { return float64(durable.Stats().SinceCheckpoint) })
+	}
+
+	// ---- shard group ------------------------------------------------------
+	if nShards := s.shardCount(); nShards > 0 {
+		r.Gauge("twolayer_shard_count",
+			"Spatial shards of the scatter-gather engine.").Set(float64(nShards))
+		r.CounterFunc("twolayer_shard_single_queries_total",
+			"Queries answered by one shard (fast path, no fan-out).",
+			func() float64 { return float64(s.shardedStats().SingleShard) })
+		r.CounterFunc("twolayer_shard_fanout_queries_total",
+			"Queries fanned out to two or more shards and merged.",
+			func() float64 { return float64(s.shardedStats().Fanout) })
+		queries := r.CounterVecFunc("twolayer_shard_queries_total",
+			"Queries routed to each shard (fan-out counts every shard scanned).", "shard")
+		busy := r.CounterVecFunc("twolayer_shard_busy_seconds_total",
+			"Cumulative wall time each shard spent scanning.", "shard")
+		results := r.CounterVecFunc("twolayer_shard_results_total",
+			"Results each shard contributed after cross-shard deduplication.", "shard")
+		objects := r.GaugeVecFunc("twolayer_shard_objects",
+			"Entries stored in each shard (including boundary replicas).", "shard")
+		epoch := r.GaugeVecFunc("twolayer_shard_epoch",
+			"Published copy-on-write epoch of each shard.", "shard")
+		for i := 0; i < nShards; i++ {
+			i := i
+			label := strconv.Itoa(i)
+			queries.Add(func() float64 {
+				return float64(s.shardedStats().PerShard[i].Queries)
+			}, label)
+			busy.Add(func() float64 {
+				return float64(s.shardedStats().PerShard[i].BusyNS) / 1e9
+			}, label)
+			results.Add(func() float64 {
+				return float64(s.shardedStats().PerShard[i].Results)
+			}, label)
+			objects.Add(func() float64 {
+				return float64(s.shardedStats().PerShard[i].Objects)
+			}, label)
+			epoch.Add(func() float64 {
+				return float64(s.shardedStats().PerShard[i].Epoch)
+			}, label)
+		}
 	}
 
 	// ---- process group ----------------------------------------------------

@@ -76,7 +76,7 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
-	epoch, err := s.live.Insert(req.ID, req.MBR.toRect())
+	epoch, err := s.mut.Insert(req.ID, req.MBR.toRect())
 	if err != nil {
 		writeMutationError(w, err)
 		return
@@ -97,7 +97,7 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
-	found, epoch, err := s.live.Delete(req.ID, req.MBR.toRect())
+	found, epoch, err := s.mut.Delete(req.ID, req.MBR.toRect())
 	if err != nil {
 		writeMutationError(w, err)
 		return
@@ -144,7 +144,7 @@ func (s *Server) handleBulk(w http.ResponseWriter, r *http.Request) {
 		muts[i].MBR = m.MBR.toRect()
 	}
 	start := time.Now()
-	res, err := s.live.Apply(muts)
+	res, err := s.mut.Apply(muts)
 	if err != nil {
 		writeMutationError(w, err)
 		return

@@ -40,8 +40,9 @@ const (
 	shutdownGrace         = 10 * time.Second
 )
 
-// Config configures a Server. Exactly one of Index, Live, and Durable
-// must be set.
+// Config configures a Server. Exactly one of the six engine fields —
+// Index, Live, Durable, Sharded, ShardedLive, and ShardedDurable — must
+// be set.
 type Config struct {
 	// Index is the shared index all requests query (static mode). It must
 	// not be updated while the server runs.
@@ -60,6 +61,21 @@ type Config struct {
 	// close it; the owner should Close it after shutdown (a clean close
 	// fsyncs the log tail).
 	Durable *twolayer.DurableLive
+
+	// Sharded is a static scatter-gather engine: every query endpoint
+	// routes through its shards, per-shard fan-out metrics are exported
+	// under twolayer_shard_*, and traces report per-shard spans. Like
+	// Index it must not be updated while serving.
+	Sharded *twolayer.Sharded
+
+	// ShardedLive is the updatable sharded engine: live mode with one
+	// apply loop per shard.
+	ShardedLive *twolayer.ShardedLive
+
+	// ShardedDurable is the sharded durability engine (one write-ahead
+	// log per shard): sharded live mode plus POST /checkpoint and the
+	// "durability" stats section.
+	ShardedDurable *twolayer.ShardedDurable
 
 	// Logger receives structured request logs. Defaults to slog.Default().
 	Logger *slog.Logger
@@ -114,51 +130,112 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Server serves spatial queries over one shared two-layer index.
-type Server struct {
-	cfg     Config
-	idx     *twolayer.Index       // static mode; nil in live mode
-	live    *twolayer.Live        // live mode; nil in static mode
-	durable *twolayer.DurableLive // durable live mode; nil otherwise
-	metrics *Metrics
-	agg     *twolayer.AtomicStats
-	mux     *http.ServeMux
+// searcher is the query surface every request evaluates on: a private
+// read view of a *twolayer.Index, a *twolayer.Sharded snapshot, or
+// their traced variants. All query handlers — /v1 and legacy — go
+// through it, so the same handler code serves every engine topology.
+type searcher interface {
+	Search(q twolayer.Query, fn func(id twolayer.ID, mbr twolayer.Rect) bool) (bool, error)
+	SearchCount(q twolayer.Query) (int, error)
+	KNN(q twolayer.Point, k int) []twolayer.Neighbor
+	KNNExact(q twolayer.Point, k int) []twolayer.Neighbor
 }
 
-// New builds a Server from cfg. It panics unless exactly one of
-// cfg.Index, cfg.Live, and cfg.Durable is set (a programming error, not
-// a runtime condition).
+// reader is the introspection surface (/stats, /healthz, index gauges),
+// satisfied by *twolayer.Index and *twolayer.Sharded alike.
+type reader interface {
+	Len() int
+	Epoch() uint64
+	GridDims() (int, int)
+	MemoryFootprint() int
+	ReplicationFactor() float64
+	PartitionStats() twolayer.PartitionStats
+	HasExactGeometries() bool
+}
+
+// mutator is the mutation surface of a live-mode server, satisfied by
+// *twolayer.Live and *twolayer.ShardedLive.
+type mutator interface {
+	Insert(id twolayer.ID, mbr twolayer.Rect) (uint64, error)
+	Delete(id twolayer.ID, mbr twolayer.Rect) (found bool, epoch uint64, err error)
+	Apply(muts []twolayer.Mutation) (twolayer.ApplyResult, error)
+	Stats() twolayer.LiveStats
+}
+
+// checkpointer is the durability surface of a durable-mode server,
+// satisfied by *twolayer.DurableLive and *twolayer.ShardedDurable.
+type checkpointer interface {
+	Checkpoint() (uint64, error)
+	Stats() twolayer.DurabilityStats
+}
+
+// Server serves spatial queries over one shared two-layer index.
+type Server struct {
+	cfg         Config
+	idx         *twolayer.Index   // static unsharded mode; nil otherwise
+	live        *twolayer.Live    // unsharded live mode; nil otherwise
+	sharded     *twolayer.Sharded // static sharded mode; nil otherwise
+	shardedLive *twolayer.ShardedLive
+	mut         mutator      // non-nil in any live mode
+	ckpt        checkpointer // non-nil in any durable mode
+	metrics     *Metrics
+	agg         *twolayer.AtomicStats
+	mux         *http.ServeMux
+}
+
+// New builds a Server from cfg. It panics unless exactly one of the six
+// engine fields is set (a programming error, not a runtime condition).
 func New(cfg Config) *Server {
 	set := 0
-	for _, on := range []bool{cfg.Index != nil, cfg.Live != nil, cfg.Durable != nil} {
+	for _, on := range []bool{
+		cfg.Index != nil, cfg.Live != nil, cfg.Durable != nil,
+		cfg.Sharded != nil, cfg.ShardedLive != nil, cfg.ShardedDurable != nil,
+	} {
 		if on {
 			set++
 		}
 	}
 	if set != 1 {
-		panic("server: exactly one of Config.Index, Config.Live and Config.Durable is required")
+		panic("server: exactly one of Config.Index, Config.Live, Config.Durable, " +
+			"Config.Sharded, Config.ShardedLive and Config.ShardedDurable is required")
 	}
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:     cfg,
-		idx:     cfg.Index,
-		live:    cfg.Live,
-		durable: cfg.Durable,
-		agg:     &twolayer.AtomicStats{},
-		mux:     http.NewServeMux(),
+		cfg:         cfg,
+		idx:         cfg.Index,
+		live:        cfg.Live,
+		sharded:     cfg.Sharded,
+		shardedLive: cfg.ShardedLive,
+		agg:         &twolayer.AtomicStats{},
+		mux:         http.NewServeMux(),
 	}
-	if s.durable != nil {
-		s.live = s.durable.Live() // durable mode is live mode plus a WAL
+	// Durable modes are their live modes plus a WAL.
+	if cfg.Durable != nil {
+		s.live = cfg.Durable.Live()
+		s.ckpt = cfg.Durable
+	}
+	if cfg.ShardedDurable != nil {
+		s.shardedLive = cfg.ShardedDurable.Live()
+		s.ckpt = cfg.ShardedDurable
+	}
+	if s.live != nil {
+		s.mut = s.live
+	}
+	if s.shardedLive != nil {
+		s.mut = s.shardedLive
 	}
 	names := []string{
 		"query/window", "query/disk", "query/knn", "query/batch",
-		"stats", "healthz",
+		"v1/window", "v1/disk", "v1/knn", "v1/batch",
+		"stats", "healthz", "v1/stats", "v1/healthz",
 	}
-	if s.live != nil {
-		names = append(names, "mutate/insert", "mutate/delete", "mutate/bulk")
+	if s.mut != nil {
+		names = append(names,
+			"mutate/insert", "mutate/delete", "mutate/bulk",
+			"v1/insert", "v1/delete", "v1/bulk")
 	}
-	if s.durable != nil {
-		names = append(names, "checkpoint")
+	if s.ckpt != nil {
+		names = append(names, "checkpoint", "v1/checkpoint")
 	}
 	s.metrics = newMetrics(s, names)
 	s.metrics.buildDur.Set(cfg.BuildDuration.Seconds())
@@ -168,33 +245,61 @@ func New(cfg Config) *Server {
 
 // routes registers all endpoints. Every name registered here must be
 // listed in newMetrics above and documented in docs/SERVER.md.
+//
+// The /v1/ prefix is the current API: every query and mutation endpoint
+// lives there with the unified request envelope. The unversioned paths
+// are deprecated aliases kept for existing clients — identical
+// semantics, plus a Deprecation header, a Link to the /v1 successor,
+// and a twolayer_deprecated_requests_total sample per request.
 func (s *Server) routes() {
 	query := func(name string, h http.HandlerFunc) http.Handler {
 		return s.instrument(name, s.limitBody(s.withTimeout(h)))
 	}
-	s.mux.Handle("POST /query/window", query("query/window", s.handleWindow))
-	s.mux.Handle("POST /query/disk", query("query/disk", s.handleDisk))
-	s.mux.Handle("POST /query/knn", query("query/knn", s.handleKNN))
-	s.mux.Handle("POST /query/batch", query("query/batch", s.handleBatch))
+	s.mux.Handle("POST /v1/window", query("v1/window", s.handleV1Window))
+	s.mux.Handle("POST /v1/disk", query("v1/disk", s.handleV1Disk))
+	s.mux.Handle("POST /v1/knn", query("v1/knn", s.handleKNN))
+	s.mux.Handle("POST /v1/batch", query("v1/batch", s.handleBatch))
+	s.mux.Handle("POST /query/window",
+		s.deprecate("query/window", "/v1/window", query("query/window", s.handleWindow)))
+	s.mux.Handle("POST /query/disk",
+		s.deprecate("query/disk", "/v1/disk", query("query/disk", s.handleDisk)))
+	s.mux.Handle("POST /query/knn",
+		s.deprecate("query/knn", "/v1/knn", query("query/knn", s.handleKNN)))
+	s.mux.Handle("POST /query/batch",
+		s.deprecate("query/batch", "/v1/batch", query("query/batch", s.handleBatch)))
 
-	if s.live != nil {
+	if s.mut != nil {
 		// Mutations skip withTimeout: a submission blocks until its batch
 		// is published, and canceling mid-apply cannot undo the accepted
 		// mutation — the ack must be reported to the client.
 		mutate := func(name string, h http.HandlerFunc) http.Handler {
 			return s.instrument(name, s.limitBody(h))
 		}
-		s.mux.Handle("POST /insert", mutate("mutate/insert", s.handleInsert))
-		s.mux.Handle("POST /delete", mutate("mutate/delete", s.handleDelete))
-		s.mux.Handle("POST /bulk", mutate("mutate/bulk", s.handleBulk))
+		s.mux.Handle("POST /v1/insert", mutate("v1/insert", s.handleInsert))
+		s.mux.Handle("POST /v1/delete", mutate("v1/delete", s.handleDelete))
+		s.mux.Handle("POST /v1/bulk", mutate("v1/bulk", s.handleBulk))
+		s.mux.Handle("POST /insert",
+			s.deprecate("mutate/insert", "/v1/insert", mutate("mutate/insert", s.handleInsert)))
+		s.mux.Handle("POST /delete",
+			s.deprecate("mutate/delete", "/v1/delete", mutate("mutate/delete", s.handleDelete)))
+		s.mux.Handle("POST /bulk",
+			s.deprecate("mutate/bulk", "/v1/bulk", mutate("mutate/bulk", s.handleBulk)))
 	}
-	if s.durable != nil {
+	if s.ckpt != nil {
 		// No withTimeout: a checkpoint runs to completion once started.
+		s.mux.Handle("POST /v1/checkpoint",
+			s.instrument("v1/checkpoint", http.HandlerFunc(s.handleCheckpoint)))
 		s.mux.Handle("POST /checkpoint",
-			s.instrument("checkpoint", http.HandlerFunc(s.handleCheckpoint)))
+			s.deprecate("checkpoint", "/v1/checkpoint",
+				s.instrument("checkpoint", http.HandlerFunc(s.handleCheckpoint))))
 	}
 
-	s.mux.Handle("GET /stats", s.instrument("stats", http.HandlerFunc(s.handleStats)))
+	s.mux.Handle("GET /v1/stats", s.instrument("v1/stats", http.HandlerFunc(s.handleStats)))
+	s.mux.Handle("GET /v1/healthz", s.instrument("v1/healthz", http.HandlerFunc(s.handleHealthz)))
+	s.mux.Handle("GET /stats",
+		s.deprecate("stats", "/v1/stats", s.instrument("stats", http.HandlerFunc(s.handleStats))))
+	// /healthz stays undecorated: infra probes should not see Deprecation
+	// headers, and /metrics is a scrape surface, not an API.
 	s.mux.Handle("GET /healthz", s.instrument("healthz", http.HandlerFunc(s.handleHealthz)))
 	s.mux.Handle("GET /metrics", s.metrics)
 

@@ -106,8 +106,14 @@ func TestEveryMetricsEndpointRegistered(t *testing.T) {
 		"query/disk":   "/query/disk",
 		"query/knn":    "/query/knn",
 		"query/batch":  "/query/batch",
+		"v1/window":    "/v1/window",
+		"v1/disk":      "/v1/disk",
+		"v1/knn":       "/v1/knn",
+		"v1/batch":     "/v1/batch",
 		"stats":        "/stats",
 		"healthz":      "/healthz",
+		"v1/stats":     "/v1/stats",
+		"v1/healthz":   "/v1/healthz",
 	}
 	// Every routed endpoint's series exists (at zero) before any traffic.
 	before := scrapeMetrics(t, s.Handler())
@@ -120,7 +126,7 @@ func TestEveryMetricsEndpointRegistered(t *testing.T) {
 	for name, path := range paths {
 		method := "POST"
 		body := `{}`
-		if name == "stats" || name == "healthz" {
+		if strings.HasSuffix(name, "stats") || strings.HasSuffix(name, "healthz") {
 			method, body = "GET", ""
 		}
 		do(t, s.Handler(), method, path, body, nil)

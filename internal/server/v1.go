@@ -1,0 +1,188 @@
+package server
+
+import (
+	"math"
+	"net/http"
+	"time"
+
+	twolayer "github.com/twolayer/twolayer"
+)
+
+// The /v1 range endpoints (POST /v1/window, POST /v1/disk) share one
+// request envelope mirroring twolayer.Query: a shape, an optional exact
+// refinement with a selectable mode, and count/limit/trace controls.
+// Unlike the legacy endpoints their semantics are uniform: a limit stops
+// the evaluation (count == len(results), truncated=true when more
+// matches existed), and count_only counts everything, ignoring the
+// limit. See docs/SERVER.md#v1-api.
+
+// diskJSON is the disk shape of the envelope.
+type diskJSON struct {
+	Center pointJSON `json:"center"`
+	Radius float64   `json:"radius"`
+}
+
+// queryEnvelope is the unified /v1 range-query request body.
+type queryEnvelope struct {
+	// Exactly one of Window and Disk must be set, matching the endpoint
+	// (window on /v1/window, disk on /v1/disk).
+	Window *rectJSON `json:"window,omitempty"`
+	Disk   *diskJSON `json:"disk,omitempty"`
+	// Exact refines candidates against the exact geometries; Mode picks
+	// the refinement strategy: "avoid_plus" (default), "avoid", "simple".
+	Exact bool   `json:"exact"`
+	Mode  string `json:"mode"`
+	// CountOnly returns only the match count; the limit is ignored.
+	CountOnly bool `json:"count_only"`
+	// Limit caps the results (0 = server default, DefaultResultLimit).
+	Limit int `json:"limit"`
+	// Trace attaches the per-query trace to the response.
+	Trace bool `json:"trace"`
+}
+
+// parseRefineMode maps the envelope's mode string to a RefineMode.
+func parseRefineMode(mode string) (twolayer.RefineMode, bool) {
+	switch mode {
+	case "", "avoid_plus":
+		return twolayer.RefineAvoidPlus, true
+	case "avoid":
+		return twolayer.RefineAvoid, true
+	case "simple":
+		return twolayer.RefineSimple, true
+	default:
+		return 0, false
+	}
+}
+
+// decodeEnvelope decodes and validates a /v1 range request. kind is
+// "window" or "disk" and pins which shape the endpoint accepts. On
+// failure the error response has been written and ok is false.
+func (s *Server) decodeEnvelope(w http.ResponseWriter, r *http.Request, kind string) (env queryEnvelope, q twolayer.Query, limit int, ok bool) {
+	if !decodeJSON(w, r, &env) {
+		return env, q, 0, false
+	}
+	switch kind {
+	case "window":
+		if env.Window == nil || env.Disk != nil {
+			writeError(w, http.StatusBadRequest, `/v1/window requires the "window" shape (and no "disk")`)
+			return env, q, 0, false
+		}
+		if msg := env.Window.validate(); msg != "" {
+			writeError(w, http.StatusBadRequest, msg)
+			return env, q, 0, false
+		}
+		rect := env.Window.toRect()
+		q.Window = &rect
+	case "disk":
+		if env.Disk == nil || env.Window != nil {
+			writeError(w, http.StatusBadRequest, `/v1/disk requires the "disk" shape (and no "window")`)
+			return env, q, 0, false
+		}
+		if msg := env.Disk.Center.validate(); msg != "" {
+			writeError(w, http.StatusBadRequest, msg)
+			return env, q, 0, false
+		}
+		if math.IsNaN(env.Disk.Radius) || math.IsInf(env.Disk.Radius, 0) || env.Disk.Radius < 0 {
+			writeError(w, http.StatusBadRequest, "radius must be finite and >= 0")
+			return env, q, 0, false
+		}
+		q.Disk = &twolayer.Disk{
+			Center: twolayer.Point{X: env.Disk.Center.X, Y: env.Disk.Center.Y},
+			Radius: env.Disk.Radius,
+		}
+	}
+	mode, modeOK := parseRefineMode(env.Mode)
+	if !modeOK {
+		writeError(w, http.StatusBadRequest, `mode must be "avoid_plus", "avoid" or "simple"`)
+		return env, q, 0, false
+	}
+	limit, limOK := clampLimit(env.Limit)
+	if !limOK {
+		writeError(w, http.StatusBadRequest, "limit must be >= 0")
+		return env, q, 0, false
+	}
+	q.Exact = env.Exact
+	q.Mode = mode
+	if env.Exact && !s.requireExactable(w) {
+		return env, q, 0, false
+	}
+	return env, q, limit, true
+}
+
+func (s *Server) handleV1Window(w http.ResponseWriter, r *http.Request) {
+	s.handleV1Range(w, r, "window")
+}
+
+func (s *Server) handleV1Disk(w http.ResponseWriter, r *http.Request) {
+	s.handleV1Range(w, r, "disk")
+}
+
+// handleV1Range evaluates a /v1 window or disk query with the unified
+// semantics: the limit folds into the descriptor (the engine stops
+// delivering once it is reached and reports the query incomplete), and
+// count_only streams without buffering. Cancellation is cooperative
+// every ctxPollInterval results, like the legacy endpoints.
+func (s *Server) handleV1Range(w http.ResponseWriter, r *http.Request, kind string) {
+	env, q, limit, ok := s.decodeEnvelope(w, r, kind)
+	if !ok {
+		return
+	}
+	view, finish := s.beginQuery(w, r, kind, env.Trace)
+	ctx := r.Context()
+	if ctx.Err() != nil {
+		writeTimeout(w)
+		return
+	}
+	resp := rangeResponse{}
+	start := time.Now()
+
+	if env.CountOnly {
+		interrupted := false
+		seen := 0
+		_, err := view.Search(q, func(twolayer.ID, twolayer.Rect) bool {
+			seen++
+			if seen%ctxPollInterval == 0 && ctx.Err() != nil {
+				interrupted = true
+				return false
+			}
+			return true
+		})
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		if interrupted {
+			writeTimeout(w)
+			return
+		}
+		resp.Count = seen
+	} else {
+		q.Limit = limit
+		interrupted := false
+		complete, err := view.Search(q, func(id twolayer.ID, mbr twolayer.Rect) bool {
+			res := resultJSON{ID: id}
+			if !q.Exact {
+				res.MBR = fromRect(mbr)
+			}
+			resp.Results = append(resp.Results, res)
+			if len(resp.Results)%ctxPollInterval == 0 && ctx.Err() != nil {
+				interrupted = true
+				return false
+			}
+			return true
+		})
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		if interrupted {
+			writeTimeout(w)
+			return
+		}
+		resp.Count = len(resp.Results)
+		resp.Truncated = !complete
+	}
+	resp.ElapsedUS = time.Since(start).Microseconds()
+	resp.Trace = finish()
+	writeJSON(w, http.StatusOK, resp)
+}

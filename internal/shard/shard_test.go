@@ -1,0 +1,253 @@
+package shard
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"github.com/twolayer/twolayer/internal/core"
+	"github.com/twolayer/twolayer/internal/geom"
+	"github.com/twolayer/twolayer/internal/spatial"
+)
+
+func testDataset(seed int64, n int, maxSide float64) *spatial.Dataset {
+	rnd := rand.New(rand.NewSource(seed))
+	entries := make([]spatial.Entry, n)
+	for i := range entries {
+		x, y := rnd.Float64(), rnd.Float64()
+		entries[i] = spatial.Entry{
+			ID: spatial.ID(i),
+			Rect: geom.Rect{
+				MinX: x, MinY: y,
+				MaxX: x + rnd.Float64()*maxSide, MaxY: y + rnd.Float64()*maxSide,
+			},
+		}
+	}
+	return &spatial.Dataset{Entries: entries}
+}
+
+func TestLayoutBoundaries(t *testing.T) {
+	opts := core.Options{NX: 16, NY: 16, Space: geom.Rect{MaxX: 1, MaxY: 1}}
+	lay := makeLayout(opts, 4)
+	if lay.shardCount() != 4 {
+		t.Fatalf("shardCount = %d, want 4", lay.shardCount())
+	}
+	// Columns split 4-4-4-4, so boundaries fall at 0.25, 0.5, 0.75.
+	wantBounds := []float64{0.25, 0.5, 0.75}
+	for i, b := range lay.bounds {
+		if b != wantBounds[i] {
+			t.Errorf("bounds[%d] = %g, want %g", i, b, wantBounds[i])
+		}
+	}
+	// A coordinate exactly on a boundary belongs to the right shard
+	// (half-open slabs, like tile ownership in the grid).
+	cases := []struct {
+		x    float64
+		want int
+	}{
+		{-5, 0}, {0, 0}, {0.1, 0}, {0.25, 1}, {0.3, 1},
+		{0.5, 2}, {0.75, 3}, {0.99, 3}, {1, 3}, {7, 3},
+	}
+	for _, c := range cases {
+		if got := lay.shardOf(c.x); got != c.want {
+			t.Errorf("shardOf(%g) = %d, want %d", c.x, got, c.want)
+		}
+	}
+	// rangeOf covers every slab the rect touches, inclusive.
+	if lo, hi := lay.rangeOf(geom.Rect{MinX: 0.2, MinY: 0, MaxX: 0.6, MaxY: 1}); lo != 0 || hi != 2 {
+		t.Errorf("rangeOf = [%d,%d], want [0,2]", lo, hi)
+	}
+	if lo, hi := lay.rangeOf(geom.Rect{MinX: 0.3, MinY: 0, MaxX: 0.3, MaxY: 1}); lo != 1 || hi != 1 {
+		t.Errorf("point rangeOf = [%d,%d], want [1,1]", lo, hi)
+	}
+
+	// Shard slabs tile the space: contiguous columns, exact global
+	// extents at the outer edges.
+	prevMax := opts.Space.MinX
+	cols := 0
+	for s := 0; s < lay.shardCount(); s++ {
+		so := lay.shardOpts(s)
+		if so.Space.MinX != prevMax {
+			t.Errorf("shard %d MinX = %g, want %g", s, so.Space.MinX, prevMax)
+		}
+		prevMax = so.Space.MaxX
+		cols += so.NX
+	}
+	if prevMax != opts.Space.MaxX {
+		t.Errorf("last shard MaxX = %g, want %g", prevMax, opts.Space.MaxX)
+	}
+	if cols != opts.NX {
+		t.Errorf("shards own %d columns, grid has %d", cols, opts.NX)
+	}
+}
+
+func TestLayoutClamping(t *testing.T) {
+	opts := core.Options{NX: 4, NY: 4, Space: geom.Rect{MaxX: 1, MaxY: 1}}
+	if got := makeLayout(opts, 99).shardCount(); got != 4 {
+		t.Errorf("99 shards over 4 columns: shardCount = %d, want 4", got)
+	}
+	if got := makeLayout(opts, 0).shardCount(); got != 1 {
+		t.Errorf("0 shards: shardCount = %d, want 1", got)
+	}
+	if got := makeLayout(opts, -3).shardCount(); got != 1 {
+		t.Errorf("-3 shards: shardCount = %d, want 1", got)
+	}
+	// Uneven split: 7 columns over 3 shards must still cover all 7.
+	lay := makeLayout(core.Options{NX: 7, NY: 4, Space: geom.Rect{MaxX: 1, MaxY: 1}}, 3)
+	cols := 0
+	for s := 0; s < lay.shardCount(); s++ {
+		n := lay.shardOpts(s).NX
+		if n < 1 {
+			t.Errorf("shard %d owns %d columns", s, n)
+		}
+		cols += n
+	}
+	if cols != 7 {
+		t.Errorf("shards own %d columns, want 7", cols)
+	}
+}
+
+// TestFanoutDeduplication checks the home-shard ownership rule directly:
+// a fan-out query over boundary-straddling objects reports each exactly
+// once, and per-shard span result counts sum to the total.
+func TestFanoutDeduplication(t *testing.T) {
+	// Wide slabs guarantee heavy cross-shard replication.
+	rnd := rand.New(rand.NewSource(11))
+	entries := make([]spatial.Entry, 500)
+	for i := range entries {
+		x, y := rnd.Float64()*0.6, rnd.Float64()
+		entries[i] = spatial.Entry{
+			ID:   spatial.ID(i),
+			Rect: geom.Rect{MinX: x, MinY: y, MaxX: x + 0.4, MaxY: y + 0.01},
+		}
+	}
+	d := &spatial.Dataset{Entries: entries}
+	e := Build(d, core.Options{NX: 16, NY: 16, Space: geom.Rect{MaxX: 1, MaxY: 1}}, 8)
+
+	w := geom.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}
+	var spans []Span
+	seen := make(map[spatial.ID]int)
+	if _, err := e.Search(core.Query{Window: &w}, func(ent spatial.Entry) bool {
+		seen[ent.ID]++
+		return true
+	}, &spans); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != len(entries) {
+		t.Fatalf("full-space query returned %d distinct IDs, want %d", len(seen), len(entries))
+	}
+	for id, n := range seen {
+		if n != 1 {
+			t.Errorf("ID %d reported %d times", id, n)
+		}
+	}
+	total := 0
+	for _, sp := range spans {
+		total += sp.Results
+	}
+	if total != len(entries) {
+		t.Errorf("span results sum to %d, want %d", total, len(entries))
+	}
+	if len(spans) != e.Shards() {
+		t.Errorf("full-space query produced %d spans over %d shards", len(spans), e.Shards())
+	}
+}
+
+func TestCountDistinct(t *testing.T) {
+	d := testDataset(12, 700, 0.3)
+	e := Build(d, core.Options{NX: 16, NY: 16, Space: geom.Rect{MaxX: 1, MaxY: 1}}, 5)
+	if got := e.countDistinct(); got != d.Len() {
+		t.Fatalf("countDistinct = %d, want %d", got, d.Len())
+	}
+	// Out-of-space entries clamp into border slabs and still count once.
+	out := &spatial.Dataset{Entries: []spatial.Entry{
+		{ID: 0, Rect: geom.Rect{MinX: -5, MinY: -5, MaxX: -4, MaxY: -4}},
+		{ID: 1, Rect: geom.Rect{MinX: 4, MinY: 4, MaxX: 5, MaxY: 5}},
+		{ID: 2, Rect: geom.Rect{MinX: -1, MinY: 0.5, MaxX: 2, MaxY: 0.6}},
+	}}
+	e = Build(out, core.Options{NX: 8, NY: 8, Space: geom.Rect{MaxX: 1, MaxY: 1}}, 4)
+	if got := e.countDistinct(); got != 3 {
+		t.Fatalf("countDistinct with out-of-space entries = %d, want 3", got)
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	if HasState(dir) {
+		t.Fatal("HasState on an empty dir")
+	}
+	m := manifest{Version: 1, Shards: 3, NX: 12, NY: 10, MinX: -2, MinY: -1, MaxX: 3, MaxY: 4}
+	if err := writeManifest(dir, m); err != nil {
+		t.Fatal(err)
+	}
+	if !HasState(dir) {
+		t.Fatal("HasState = false after writeManifest")
+	}
+	got, err := readManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != m {
+		t.Fatalf("manifest round trip: got %+v, want %+v", got, m)
+	}
+
+	// Invalid layouts are rejected on read.
+	if err := writeManifest(dir, manifest{Version: 1, Shards: 0, NX: 4, NY: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readManifest(dir); err == nil {
+		t.Error("readManifest accepted a zero-shard manifest")
+	}
+}
+
+// TestDurableManifestWins pins reopen behavior: requested layout and
+// seed are superseded by the manifest on a non-empty directory.
+func TestDurableManifestWins(t *testing.T) {
+	dir := t.TempDir()
+	d := testDataset(13, 300, 0.05)
+	opts := core.Options{NX: 16, NY: 16, Space: geom.Rect{MaxX: 1, MaxY: 1}}
+	seed := Build(d, opts, 3)
+
+	dur, _, err := Open(opts, core.LiveOptions{}, DurableOptions{Dir: dir}, 3, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dur.Live().Len() != d.Len() {
+		t.Fatalf("seeded Len = %d, want %d", dur.Live().Len(), d.Len())
+	}
+	if err := dur.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen asking for a different grid, shard count, and a fresh seed:
+	// the manifest must override all three.
+	otherSeed := Build(testDataset(14, 10, 0.05),
+		core.Options{NX: 8, NY: 8, Space: geom.Rect{MaxX: 2, MaxY: 2}}, 2)
+	dur2, infos, err := Open(core.Options{NX: 64, NY: 64, Space: geom.Rect{MaxX: 9, MaxY: 9}},
+		core.LiveOptions{}, DurableOptions{Dir: dir}, 7, otherSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dur2.Close()
+	if got := dur2.Live().Shards(); got != 3 {
+		t.Fatalf("reopen shards = %d, manifest pins 3", got)
+	}
+	if got := dur2.Live().Len(); got != d.Len() {
+		t.Fatalf("reopen Len = %d, want %d (other seed must be ignored)", got, d.Len())
+	}
+	if len(infos) != 3 {
+		t.Fatalf("reopen returned %d infos, want 3", len(infos))
+	}
+	snap := dur2.Live().Snapshot()
+	if nx, ny := snap.GridDims(); nx != 16 || ny != 16 {
+		t.Fatalf("reopen grid = %dx%d, manifest pins 16x16", nx, ny)
+	}
+
+	// The per-shard WAL directories follow the shard-%03d naming.
+	if _, err := readManifest(dir); err != nil {
+		t.Fatal(err)
+	}
+	if got := shardDir(dir, 0); got != filepath.Join(dir, "shard-000") {
+		t.Errorf("shardDir = %s", got)
+	}
+}

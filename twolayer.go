@@ -207,58 +207,118 @@ func (ix *Index) Len() int { return ix.core.Len() }
 func (ix *Index) Epoch() uint64 { return ix.core.Epoch() }
 
 // Window invokes fn exactly once for each object whose MBR intersects w.
-// This is the filtering step: results are candidates by MBR; use
-// WindowExact for exact-geometry results.
+// This is the filtering step: results are candidates by MBR; use an
+// Exact query for exact-geometry results.
+//
+// Legacy: thin wrapper over Search(Query{Window: &w}).
 func (ix *Index) Window(w Rect, fn func(id ID, mbr Rect)) {
-	ix.core.Window(w, func(e spatial.Entry) { fn(e.ID, e.Rect) })
+	ix.Search(Query{Window: &w}, func(id ID, mbr Rect) bool {
+		fn(id, mbr)
+		return true
+	})
 }
 
 // WindowIDs returns the IDs of all objects whose MBR intersects w,
 // appending to buf (which may be nil).
+//
+// Legacy: thin wrapper over SearchIDs(Query{Window: &w}, buf).
 func (ix *Index) WindowIDs(w Rect, buf []ID) []ID {
-	return ix.core.WindowIDs(w, buf)
+	ids, _ := ix.SearchIDs(Query{Window: &w}, buf)
+	return ids
 }
 
 // WindowCount returns the number of objects whose MBR intersects w.
-func (ix *Index) WindowCount(w Rect) int { return ix.core.WindowCount(w) }
+//
+// Legacy: thin wrapper over SearchCount(Query{Window: &w}).
+func (ix *Index) WindowCount(w Rect) int {
+	n, _ := ix.SearchCount(Query{Window: &w})
+	return n
+}
 
 // Disk invokes fn exactly once for each object whose MBR intersects the
 // disk with the given center and radius.
+//
+// Legacy: thin wrapper over Search(Query{Disk: &Disk{...}}).
 func (ix *Index) Disk(center Point, radius float64, fn func(id ID, mbr Rect)) {
-	ix.core.Disk(center, radius, func(e spatial.Entry) { fn(e.ID, e.Rect) })
+	ix.Search(Query{Disk: &Disk{Center: center, Radius: radius}}, func(id ID, mbr Rect) bool {
+		fn(id, mbr)
+		return true
+	})
 }
 
 // DiskIDs returns the IDs of all objects whose MBR intersects the disk.
+//
+// Legacy: thin wrapper over SearchIDs(Query{Disk: &Disk{...}}, buf).
 func (ix *Index) DiskIDs(center Point, radius float64, buf []ID) []ID {
-	return ix.core.DiskIDs(center, radius, buf)
+	ids, _ := ix.SearchIDs(Query{Disk: &Disk{Center: center, Radius: radius}}, buf)
+	return ids
 }
 
 // DiskCount returns the number of objects whose MBR intersects the disk.
+//
+// Legacy: thin wrapper over SearchCount(Query{Disk: &Disk{...}}).
 func (ix *Index) DiskCount(center Point, radius float64) int {
-	return ix.core.DiskCount(center, radius)
+	n, _ := ix.SearchCount(Query{Disk: &Disk{Center: center, Radius: radius}})
+	return n
 }
 
 // Query evaluates a range query with an arbitrary region shape (e.g., a
 // polygon): fn is invoked exactly once for each object whose MBR
 // intersects the region.
+//
+// Legacy: thin wrapper over Search(Query{Region: region}).
 func (ix *Index) Query(region Region, fn func(id ID, mbr Rect)) {
-	ix.core.Query(region, func(e spatial.Entry) { fn(e.ID, e.Rect) })
+	ix.Search(Query{Region: region}, func(id ID, mbr Rect) bool {
+		fn(id, mbr)
+		return true
+	})
 }
 
 // QueryCount returns the number of objects whose MBR intersects the
 // region.
-func (ix *Index) QueryCount(region Region) int { return ix.core.QueryCount(region) }
+//
+// Legacy: thin wrapper over SearchCount(Query{Region: region}).
+func (ix *Index) QueryCount(region Region) int {
+	n, _ := ix.SearchCount(Query{Region: region})
+	return n
+}
 
 // WindowExact invokes fn exactly once for each object whose exact
-// geometry intersects w, using the given refinement mode.
+// geometry intersects w, using the given refinement mode. It panics if
+// the index has no exact geometries (New, Load).
+//
+// Legacy: thin wrapper over Search(Query{Window: &w, Exact: true, Mode:
+// mode}), which reports the missing-geometries case as an error instead
+// of panicking.
 func (ix *Index) WindowExact(w Rect, mode RefineMode, fn func(id ID)) {
-	ix.core.WindowExact(w, mode, fn)
+	_, err := ix.Search(Query{Window: &w, Exact: true, Mode: mode}, func(id ID, _ Rect) bool {
+		fn(id)
+		return true
+	})
+	if err != nil {
+		panic(err)
+	}
 }
 
 // DiskExact invokes fn exactly once for each object whose exact geometry
-// intersects the disk.
+// intersects the disk. It panics if the index has no exact geometries
+// (New, Load).
+//
+// Legacy: thin wrapper over Search(Query{Disk: &Disk{...}, Exact: true,
+// Mode: mode}), which reports the missing-geometries case as an error
+// instead of panicking.
 func (ix *Index) DiskExact(center Point, radius float64, mode RefineMode, fn func(id ID)) {
-	ix.core.DiskExact(center, radius, mode, fn)
+	_, err := ix.Search(Query{
+		Disk:  &Disk{Center: center, Radius: radius},
+		Exact: true,
+		Mode:  mode,
+	}, func(id ID, _ Rect) bool {
+		fn(id)
+		return true
+	})
+	if err != nil {
+		panic(err)
+	}
 }
 
 // BatchWindow evaluates a batch of window queries; fn receives the query
@@ -378,8 +438,11 @@ func (ix *Index) EstimateWindow(w Rect) float64 { return ix.core.EstimateWindow(
 // WindowUntil streams filtering results until fn returns false,
 // reporting whether the query ran to completion. Termination is
 // tile-granular.
+//
+// Legacy: thin wrapper over Search(Query{Window: &w}).
 func (ix *Index) WindowUntil(w Rect, fn func(id ID, mbr Rect) bool) bool {
-	return ix.core.WindowUntil(w, func(e spatial.Entry) bool { return fn(e.ID, e.Rect) })
+	complete, _ := ix.Search(Query{Window: &w}, fn)
+	return complete
 }
 
 // Intersects reports whether any object MBR intersects w, stopping at
