@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check build fmt-check vet test test-race race-hot bench bench-build bench-json bench-shard fuzz-short experiments docs-check
+.PHONY: check build fmt-check vet test test-race race-hot bench bench-build bench-json bench-shard bench-query fuzz-short experiments docs-check
 
 check: build fmt-check vet test-race docs-check
 
@@ -73,6 +73,19 @@ bench-shard:
 	$(GO) build -o /tmp/benchjson ./cmd/benchjson
 	$(GO) test -run '^$$' -bench 'BenchmarkSharded' -benchmem \
 		-benchtime $(BENCH_SHARD_TIME) . | /tmp/benchjson -o BENCH_3.json
+
+# Adaptive-kernel benchmarks as a committed JSON report (BENCH_4.json):
+# the count pushdown vs the streamed reference across query sizes, the
+# chunked parallel window kernel at forced worker counts, and the
+# existence probe. The pushdown series is the acceptance measurement —
+# large count-only windows must beat the streamed baseline by >= 10x.
+# CI runs this with BENCH_QUERY_TIME=1x as a smoke test.
+BENCH_QUERY_TIME ?= 1s
+
+bench-query:
+	$(GO) build -o /tmp/benchjson ./cmd/benchjson
+	$(GO) test -run '^$$' -bench 'BenchmarkWindowCountFast|BenchmarkWindowParallel|BenchmarkIntersects' \
+		-benchmem -benchtime $(BENCH_QUERY_TIME) . | /tmp/benchjson -o BENCH_4.json
 
 # Short fuzz pass over every fuzz target (CI runs this): seconds per
 # target, catching format-level regressions without a long campaign.

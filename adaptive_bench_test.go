@@ -1,0 +1,110 @@
+// Benchmarks for the adaptive query kernels: the O(tiles) count
+// pushdown against the streamed reference it replaced, the chunked
+// intra-query parallel kernel across forced worker counts, and the
+// early-stopping existence probe. `make bench-query` records these into
+// BENCH_4.json.
+package twolayer_test
+
+import (
+	"testing"
+
+	"github.com/twolayer/twolayer/internal/core"
+	"github.com/twolayer/twolayer/internal/datagen"
+	"github.com/twolayer/twolayer/internal/geom"
+	"github.com/twolayer/twolayer/internal/spatial"
+)
+
+// BenchmarkWindowCountFast: count-only window queries on the Table-5
+// ROADS workload. "streamed" is the pre-pushdown reference (walk every
+// matching entry through a callback); "pushdown" is WindowCountFast,
+// which answers interior tiles with len() and 1-comparison decomposed
+// classes with a binary-search run length. The streamed/pushdown ratio
+// is the kernel's speedup at each query size.
+func BenchmarkWindowCountFast(b *testing.B) {
+	benchData()
+	for _, area := range []float64{0.001, 0.01, 0.04, 0.25} {
+		queries := datagen.Windows(benchRoads, datagen.QuerySpec{
+			N: benchQueries, RelExtent: area, Seed: benchSeed + 2})
+		run := func(b *testing.B, count func(geom.Rect) int) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			total := 0
+			for i := 0; i < b.N; i++ {
+				total += count(queries[i%len(queries)])
+			}
+			benchSink = total
+		}
+		plain := core.Build(benchRoads, core.Options{NX: benchGrid, NY: benchGrid})
+		dec := core.Build(benchRoads, core.Options{NX: benchGrid, NY: benchGrid, Decompose: true})
+		b.Run("streamed/area="+ftoa2(area), func(b *testing.B) {
+			run(b, func(w geom.Rect) int {
+				n := 0
+				plain.Window(w, func(spatial.Entry) { n++ })
+				return n
+			})
+		})
+		b.Run("pushdown/area="+ftoa2(area), func(b *testing.B) {
+			run(b, plain.WindowCountFast)
+		})
+		b.Run("pushdown-decomposed/area="+ftoa2(area), func(b *testing.B) {
+			run(b, dec.WindowCountFast)
+		})
+	}
+}
+
+func ftoa2(f float64) string {
+	switch f {
+	case 0.001:
+		return "0.1%"
+	case 0.01:
+		return "1%"
+	case 0.04:
+		return "4%"
+	case 0.25:
+		return "25%"
+	}
+	return ftoa(f)
+}
+
+// BenchmarkWindowParallel: one large window (>= 25% of the space) per
+// op through the chunked kernel at forced worker counts. On a
+// single-core host this measures the kernel's coordination overhead,
+// not speedup; with more cores the per-op time should drop as workers
+// increase.
+func BenchmarkWindowParallel(b *testing.B) {
+	benchData()
+	ix := core.Build(benchRoads, core.Options{NX: benchGrid, NY: benchGrid})
+	queries := datagen.Windows(benchRoads, datagen.QuerySpec{
+		N: 64, RelExtent: 0.25, Seed: benchSeed + 9})
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run("workers="+itoa(workers), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			total := 0
+			for i := 0; i < b.N; i++ {
+				n := 0
+				ix.WindowOrdered(queries[i%len(queries)], workers, func(spatial.Entry) { n++ })
+				total += n
+			}
+			benchSink = total
+		})
+	}
+}
+
+// BenchmarkIntersects: the early-stopping existence probe on the Table-5
+// workload. This path is gated off the parallel kernel (a probe that
+// stops at the first match must never pay a full fan-out scan), so it
+// should stay near-constant per op.
+func BenchmarkIntersects(b *testing.B) {
+	benchData()
+	ix := core.Build(benchRoads, core.Options{NX: benchGrid, NY: benchGrid})
+	b.ReportAllocs()
+	b.ResetTimer()
+	hits := 0
+	for i := 0; i < b.N; i++ {
+		if ix.Intersects(benchWindows[i%len(benchWindows)]) {
+			hits++
+		}
+	}
+	benchSink = hits
+}

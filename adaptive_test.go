@@ -1,0 +1,126 @@
+package twolayer_test
+
+import (
+	"math/rand"
+	"testing"
+
+	twolayer "github.com/twolayer/twolayer"
+)
+
+// TestShardedCountPushdownEquivalence checks the per-shard count
+// pushdown of non-exact window SearchCount against brute force and the
+// unsharded engine across the shard-count sweep, with and without a
+// limit cap.
+func TestShardedCountPushdownEquivalence(t *testing.T) {
+	rnd := rand.New(rand.NewSource(77))
+	rects := randRects(rnd, 3000, 0.04)
+	opts := twolayer.Options{GridSize: 32}
+	idx := twolayer.BuildRects(rects, opts)
+
+	windows := make([]twolayer.Rect, 0, 44)
+	for q := 0; q < 40; q++ {
+		x, y := rnd.Float64(), rnd.Float64()
+		side := rnd.Float64() * 0.5
+		windows = append(windows, twolayer.Rect{MinX: x, MinY: y, MaxX: x + side, MaxY: y + side})
+	}
+	windows = append(windows,
+		twolayer.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1},
+		twolayer.Rect{MinX: -1, MinY: -1, MaxX: 2, MaxY: 2},
+		twolayer.Rect{MinX: 0.5, MinY: 0, MaxX: 0.6, MaxY: 1}, // tall slab crossing shard bounds
+		twolayer.Rect{MinX: 0.25, MinY: 0.4, MaxX: 0.26, MaxY: 0.41},
+	)
+
+	for _, shards := range shardCountsUnderTest() {
+		sh := twolayer.BuildShardedRects(rects, opts, twolayer.ShardedOptions{Shards: shards})
+		for wi, w := range windows {
+			w := w
+			want := len(bruteWindow(rects, w))
+			if n, err := idx.SearchCount(twolayer.Query{Window: &w}); err != nil || n != want {
+				t.Fatalf("unsharded window %d: count=%d err=%v, want %d", wi, n, err, want)
+			}
+			n, err := sh.SearchCount(twolayer.Query{Window: &w})
+			if err != nil {
+				t.Fatalf("shards=%d window %d: %v", shards, wi, err)
+			}
+			if n != want {
+				t.Errorf("shards=%d window %d: count = %d, want %d", shards, wi, n, want)
+			}
+			if want > 1 {
+				lim := want / 2
+				n, err = sh.SearchCount(twolayer.Query{Window: &w, Limit: lim})
+				if err != nil || n != lim {
+					t.Errorf("shards=%d window %d limit=%d: count=%d err=%v",
+						shards, wi, lim, n, err)
+				}
+			}
+		}
+	}
+}
+
+// TestShardedEstimateWindow checks the public estimators: near-exact on
+// this low-replication dataset for the unsharded engine, and the sharded
+// sum at least as large (per-shard boundary replicas only add mass).
+func TestShardedEstimateWindow(t *testing.T) {
+	rnd := rand.New(rand.NewSource(31))
+	rects := randRects(rnd, 2000, 0.02)
+	opts := twolayer.Options{GridSize: 32}
+	idx := twolayer.BuildRects(rects, opts)
+
+	whole := twolayer.Rect{MinX: -1, MinY: -1, MaxX: 2, MaxY: 2}
+	est := idx.EstimateWindow(whole)
+	if est < 1900 || est > 2100 {
+		t.Errorf("whole-space estimate = %g, want ~2000", est)
+	}
+	if idx.EstimateWindow(twolayer.Rect{MinX: 2, MinY: 2, MaxX: 1, MaxY: 1}) != 0 {
+		t.Error("invalid window estimate != 0")
+	}
+	for _, shards := range shardCountsUnderTest() {
+		sh := twolayer.BuildShardedRects(rects, opts, twolayer.ShardedOptions{Shards: shards})
+		got := sh.EstimateWindow(whole)
+		if got < est-1 {
+			t.Errorf("shards=%d: estimate %g below unsharded %g", shards, got, est)
+		}
+	}
+}
+
+// TestShardedQueryPathStats checks that count pushdowns executed inside
+// the fan-out advance the summed per-shard path counters.
+func TestShardedQueryPathStats(t *testing.T) {
+	rnd := rand.New(rand.NewSource(13))
+	rects := randRects(rnd, 1000, 0.05)
+	sh := twolayer.BuildShardedRects(rects, twolayer.Options{GridSize: 16},
+		twolayer.ShardedOptions{Shards: 3})
+	w := twolayer.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}
+	before := sh.QueryPathStats()
+	if _, err := sh.SearchCount(twolayer.Query{Window: &w}); err != nil {
+		t.Fatal(err)
+	}
+	after := sh.QueryPathStats()
+	if after.FastCounts <= before.FastCounts {
+		t.Errorf("FastCounts did not advance: %d -> %d", before.FastCounts, after.FastCounts)
+	}
+}
+
+// TestPublicWindowOrdered checks the facade's forced-parallel window
+// against the sequential callback order.
+func TestPublicWindowOrdered(t *testing.T) {
+	rnd := rand.New(rand.NewSource(8))
+	rects := randRects(rnd, 2000, 0.03)
+	idx := twolayer.BuildRects(rects, twolayer.Options{GridSize: 64})
+	w := twolayer.Rect{MinX: 0.1, MinY: 0.1, MaxX: 0.9, MaxY: 0.9}
+	var want []twolayer.ID
+	idx.Window(w, func(id twolayer.ID, _ twolayer.Rect) { want = append(want, id) })
+	for _, workers := range []int{1, 2, 4, 8} {
+		var got []twolayer.ID
+		idx.WindowOrdered(w, workers, func(id twolayer.ID, _ twolayer.Rect) { got = append(got, id) })
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d results, want %d", workers, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: result %d = %d, want %d (order must match sequential)",
+					workers, i, got[i], want[i])
+			}
+		}
+	}
+}

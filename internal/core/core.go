@@ -202,6 +202,18 @@ type Index struct {
 	// always aliases the Trace whose embedded Stats this index's Stats
 	// field points to.
 	trace *Trace
+
+	// met accumulates the always-on adaptive-kernel counters (PathStats).
+	// Allocated by New and shared by pointer with every View and CloneCOW
+	// snapshot, so the counters are engine-lifetime totals.
+	met *pathMetrics
+
+	// counts is the class-A prefix-sum table of the count pushdown
+	// (countindex.go), built by Build/Load/BuildDecomposed and cleared by
+	// mutations. Immutable once set; views and snapshots share it by
+	// pointer, and a mutating clone clears only its own copy of the
+	// field.
+	counts *countIndex
 }
 
 // View returns a shallow read view of the index: it shares all partition
@@ -309,6 +321,7 @@ func New(opts Options) *Index {
 	ix := &Index{
 		g:    grid.New(opts.Space, opts.NX, opts.NY),
 		opts: opts,
+		met:  &pathMetrics{},
 	}
 	if !opts.SparseDirectory && opts.NX*opts.NY <= opts.DenseDirectoryLimit {
 		ix.dense = make([]int32, opts.NX*opts.NY)
@@ -339,6 +352,7 @@ func Build(d *spatial.Dataset, opts Options) *Index {
 	if ix.opts.Decompose {
 		ix.BuildDecomposed()
 	}
+	ix.buildCountIndex()
 	return ix
 }
 
@@ -457,6 +471,7 @@ func (ix *Index) insert(e spatial.Entry) {
 		// arbitrary tiles and then never found; fail loudly instead.
 		panic(fmt.Sprintf("core: inserting invalid rect %v (id %d)", e.Rect, e.ID))
 	}
+	ix.counts = nil // prefix-sum count table is now stale
 	ax, ay, bx, by := ix.g.CoverRect(e.Rect)
 	for ty := ay; ty <= by; ty++ {
 		for tx := ax; tx <= bx; tx++ {
@@ -480,6 +495,7 @@ func (ix *Index) Insert(e spatial.Entry) { ix.insert(e) }
 // determines the replication tiles. It reports whether the object was
 // found.
 func (ix *Index) Delete(id spatial.ID, r geom.Rect) bool {
+	ix.counts = nil // prefix-sum count table is now stale
 	ax, ay, bx, by := ix.g.CoverRect(r)
 	found := false
 	for ty := ay; ty <= by; ty++ {

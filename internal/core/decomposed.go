@@ -107,6 +107,9 @@ func buildDecTile(t *tile) *decTile {
 // identical to the sequential build.
 func (ix *Index) BuildDecomposed() {
 	ix.opts.Decompose = true
+	// This is the batch refresh point after updates, so the count
+	// pushdown's prefix table is rebuilt here too.
+	defer ix.buildCountIndex()
 	if threads := resolveBuildThreads(ix.opts.BuildThreads); threads > 1 &&
 		len(ix.tiles) >= minParallelDecTiles {
 		ix.buildDecomposedParallel(threads)
@@ -182,20 +185,28 @@ func (ix *Index) windowOnTileDecomposed(t *tile, tx, ty int, first, top bool, w 
 		}
 	}
 	if needFrac {
-		// Fraction of the tile extent satisfying each comparison kind
-		// (smaller = more selective).
-		tMin := ix.g.TileMin(tx, ty)
-		invW, invH := ix.g.InvCellW(), ix.g.InvCellH()
-		frac[cmpXU] = (tMin.X + ix.g.CellW() - w.MinX) * invW
-		frac[cmpXL] = (w.MaxX - tMin.X) * invW
-		frac[cmpYU] = (tMin.Y + ix.g.CellH() - w.MinY) * invH
-		frac[cmpYL] = (w.MaxY - tMin.Y) * invH
+		frac = ix.compFractions(tx, ty, w)
 	}
 	for c := ClassA; c <= ClassD; c++ {
 		if plans[c].scan {
 			ix.decClassQuery(t, c, w, plans[c].plan, &frac, fn)
 		}
 	}
+}
+
+// compFractions returns, per comparison kind, the fraction of tile
+// (tx,ty)'s extent satisfying it (smaller = more selective) — the
+// paper's "dimension covered the least" heuristic for picking the one
+// comparison resolved by binary search.
+func (ix *Index) compFractions(tx, ty int, w geom.Rect) [4]float64 {
+	tMin := ix.g.TileMin(tx, ty)
+	invW, invH := ix.g.InvCellW(), ix.g.InvCellH()
+	var frac [4]float64
+	frac[cmpXU] = (tMin.X + ix.g.CellW() - w.MinX) * invW
+	frac[cmpXL] = (w.MaxX - tMin.X) * invW
+	frac[cmpYU] = (tMin.Y + ix.g.CellH() - w.MinY) * invH
+	frac[cmpYL] = (w.MaxY - tMin.Y) * invH
+	return frac
 }
 
 // decClassQuery evaluates one secondary partition through its decomposed

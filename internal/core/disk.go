@@ -127,15 +127,110 @@ func (ix *Index) DiskUntil(center geom.Point, radius float64, fn func(e spatial.
 
 // DiskIDs runs Disk and collects result IDs into buf.
 func (ix *Index) DiskIDs(center geom.Point, radius float64, buf []spatial.ID) []spatial.ID {
-	buf = buf[:0]
-	ix.Disk(center, radius, func(e spatial.Entry) { buf = append(buf, e.ID) })
-	return buf
+	c := idCollectorPool.Get().(*idCollector)
+	c.ids = buf[:0]
+	ix.Disk(center, radius, c.emit)
+	out := c.ids
+	c.ids = nil
+	idCollectorPool.Put(c)
+	return out
 }
 
-// DiskCount returns the number of MBRs intersecting the disk.
+// DiskCount returns the number of MBRs intersecting the disk, through a
+// dedicated closure-free counting loop. Tiles fully inside the disk
+// count their duplicate-free classes (A, and B when no scanned upper
+// neighbor) in O(1) — the disk-query analogue of the window count
+// pushdown; classes C and D still walk entries for the ownership test.
+// An index with Stats attached falls back to the instrumented streamed
+// path so the documented counter semantics are preserved.
 func (ix *Index) DiskCount(center geom.Point, radius float64) int {
+	if ix.Stats != nil {
+		n := 0
+		ix.Disk(center, radius, func(spatial.Entry) { n++ })
+		return n
+	}
+	dc := ix.diskCoverFor(center, radius)
+	if dc == nil {
+		return 0
+	}
+	r2 := radius * radius
 	n := 0
-	ix.Disk(center, radius, func(spatial.Entry) { n++ })
+	var tally pathTally
+	for ty := dc.y0; ty <= dc.y1; ty++ {
+		lo, hi := dc.rowMin[ty-dc.y0], dc.rowMax[ty-dc.y0]
+		for tx := lo; tx <= hi; tx++ {
+			t := ix.tileAt(tx, ty)
+			if t == nil {
+				continue
+			}
+			n += ix.diskCountOnTile(t, tx, ty, dc, center, radius, r2, &tally)
+		}
+	}
+	if ix.met != nil {
+		ix.met.fastCounts.Add(1)
+		ix.met.flush(&tally)
+	}
+	return n
+}
+
+// diskCountOnTile counts the disk's matches on one tile, mirroring
+// diskOnTile's class selection and ownership rules without closures.
+func (ix *Index) diskCountOnTile(t *tile, tx, ty int, dc *diskCover, center geom.Point, radius, r2 float64, tally *pathTally) int {
+	hasLeft := dc.contains(tx-1, ty)
+	hasUp := dc.contains(tx, ty-1)
+	covered := ix.effectiveTile(tx, ty).InsideDisk(center, radius)
+
+	n := 0
+	if covered {
+		// Classes A and B need neither distance checks nor ownership
+		// tests, so a covered tile counts them wholesale.
+		bulk := len(t.classes[ClassA])
+		if !hasUp {
+			bulk += len(t.classes[ClassB])
+		}
+		n += bulk
+		tally.fastTiles++
+		tally.bulkEntries += int64(bulk)
+	} else {
+		n += countDiskClass(t.classes[ClassA], center, r2)
+		if !hasUp {
+			n += countDiskClass(t.classes[ClassB], center, r2)
+		}
+	}
+	if !hasLeft {
+		n += ix.countDiskOwned(t.classes[ClassC], tx, ty, dc, center, r2, covered)
+		if !hasUp {
+			n += ix.countDiskOwned(t.classes[ClassD], tx, ty, dc, center, r2, covered)
+		}
+	}
+	return n
+}
+
+// countDiskClass counts the entries within distance of the disk center.
+func countDiskClass(entries []spatial.Entry, center geom.Point, r2 float64) int {
+	n := 0
+	for i := range entries {
+		if entries[i].Rect.DistSqToPoint(center) <= r2 {
+			n++
+		}
+	}
+	return n
+}
+
+// countDiskOwned counts class C/D entries, applying the residual
+// owner-tile duplicate guard of diskOnTile.
+func (ix *Index) countDiskOwned(entries []spatial.Entry, tx, ty int, dc *diskCover, center geom.Point, r2 float64, covered bool) int {
+	n := 0
+	for i := range entries {
+		e := &entries[i]
+		if !covered && e.Rect.DistSqToPoint(center) > r2 {
+			continue
+		}
+		if !ix.ownsDiskEntry(e.Rect, tx, ty, dc) {
+			continue
+		}
+		n++
+	}
 	return n
 }
 

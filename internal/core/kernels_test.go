@@ -1,0 +1,259 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"github.com/twolayer/twolayer/internal/geom"
+	"github.com/twolayer/twolayer/internal/spatial"
+)
+
+// kernelConfigs builds the index variants the adaptive kernels must stay
+// equivalent on: plain grids coarse enough that random windows cover
+// interior tiles, a decomposed (2-layer+) build, and a Stats-attached
+// view (which pins the instrumented fallback path).
+func kernelConfigs(t *testing.T, rnd *rand.Rand, n int) map[string]*Index {
+	t.Helper()
+	rects := randRects(rnd, n, 0.03)
+	d := spatial.NewDataset(rects)
+	cfgs := map[string]*Index{
+		"plain-8x8":       Build(d, Options{NX: 8, NY: 8, Space: unitSquare}),
+		"plain-64x64":     Build(d, Options{NX: 64, NY: 64, Space: unitSquare}),
+		"decomposed-8x8":  Build(d, Options{NX: 8, NY: 8, Space: unitSquare, Decompose: true}),
+		"decomposed-64":   Build(d, Options{NX: 64, NY: 64, Space: unitSquare, Decompose: true}),
+		"sparse-dir":      Build(d, Options{NX: 32, NY: 32, Space: unitSquare, SparseDirectory: true}),
+		"stats-view-8x8":  nil, // filled below
+		"live-snap-16x16": nil,
+	}
+	var stats Stats
+	v := Build(d, Options{NX: 8, NY: 8, Space: unitSquare}).View(&stats)
+	cfgs["stats-view-8x8"] = v
+
+	l := NewLive(New(Options{NX: 16, NY: 16, Space: unitSquare}), LiveOptions{})
+	t.Cleanup(l.Close)
+	for i, r := range rects {
+		if _, err := l.Insert(spatial.Entry{ID: spatial.ID(i), Rect: r}); err != nil {
+			t.Fatalf("live insert: %v", err)
+		}
+	}
+	cfgs["live-snap-16x16"] = l.Snapshot()
+	return cfgs
+}
+
+// TestWindowCountFastEquivalence checks the count pushdown against the
+// streamed reference on every index variant, including whole-space
+// windows (all-interior covers) and degenerate ones.
+func TestWindowCountFastEquivalence(t *testing.T) {
+	rnd := rand.New(rand.NewSource(42))
+	cfgs := kernelConfigs(t, rnd, 4000)
+	windows := make([]geom.Rect, 0, 64)
+	for i := 0; i < 50; i++ {
+		windows = append(windows, randWindow(rnd, 0.5))
+	}
+	windows = append(windows,
+		unitSquare, // every tile interior
+		geom.Rect{MinX: -1, MinY: -1, MaxX: 2, MaxY: 2},         // sticks out everywhere
+		geom.Rect{MinX: 0.5, MinY: 0.5, MaxX: 0.5, MaxY: 0.5},   // point window
+		geom.Rect{MinX: 0.2, MinY: 0.2, MaxX: 0.1, MaxY: 0.1},   // invalid
+		geom.Rect{MinX: 0.12, MinY: 0.3, MaxX: 0.97, MaxY: 0.9}, // wide
+	)
+	for name, ix := range cfgs {
+		for wi, w := range windows {
+			want := 0
+			if w.Valid() {
+				ix.Window(w, func(spatial.Entry) { want++ })
+			}
+			if got := ix.WindowCountFast(w); got != want {
+				t.Errorf("%s window %d: WindowCountFast = %d, want %d", name, wi, got, want)
+			}
+			if got := ix.WindowCount(w); got != want {
+				t.Errorf("%s window %d: WindowCount = %d, want %d", name, wi, got, want)
+			}
+		}
+	}
+}
+
+// TestWindowCountFilteredEquivalence checks the shard-fanout counting
+// kernel (count entries with MinX >= bound) against a filtered streamed
+// reference, sweeping the bound across the space so the class-A/B bulk
+// shortcut both engages and disengages.
+func TestWindowCountFilteredEquivalence(t *testing.T) {
+	rnd := rand.New(rand.NewSource(7))
+	cfgs := kernelConfigs(t, rnd, 3000)
+	bounds := []float64{-1, 0, 0.25, 0.5, 0.499999, 0.75, 1, 2}
+	for name, ix := range cfgs {
+		for i := 0; i < 30; i++ {
+			w := randWindow(rnd, 0.6)
+			for _, minX := range bounds {
+				want := 0
+				ix.Window(w, func(e spatial.Entry) {
+					if e.Rect.MinX >= minX {
+						want++
+					}
+				})
+				if got := ix.WindowCountFiltered(w, minX); got != want {
+					t.Errorf("%s window %d minX=%v: WindowCountFiltered = %d, want %d",
+						name, i, minX, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestDiskCountEquivalence checks the disk count kernel (covered tiles
+// counted wholesale) against the streamed disk reference.
+func TestDiskCountEquivalence(t *testing.T) {
+	rnd := rand.New(rand.NewSource(11))
+	cfgs := kernelConfigs(t, rnd, 3000)
+	for name, ix := range cfgs {
+		for i := 0; i < 40; i++ {
+			c := geom.Point{X: rnd.Float64()*1.2 - 0.1, Y: rnd.Float64()*1.2 - 0.1}
+			r := rnd.Float64() * 0.6 // large radii cover whole tiles
+			want := 0
+			ix.Disk(c, r, func(spatial.Entry) { want++ })
+			if got := ix.DiskCount(c, r); got != want {
+				t.Errorf("%s disk %d (c=%v r=%v): DiskCount = %d, want %d", name, i, c, r, got, want)
+			}
+		}
+	}
+}
+
+// TestWindowOrderedMatchesSequential checks the chunked parallel kernel
+// byte-for-byte: for every worker count the emission order must equal
+// the sequential tile scan exactly, not merely as a set.
+func TestWindowOrderedMatchesSequential(t *testing.T) {
+	rnd := rand.New(rand.NewSource(23))
+	cfgs := kernelConfigs(t, rnd, 4000)
+	for name, ix := range cfgs {
+		for i := 0; i < 20; i++ {
+			w := randWindow(rnd, 0.8)
+			var want []spatial.Entry
+			ix.Window(w, func(e spatial.Entry) { want = append(want, e) })
+			for _, workers := range []int{1, 2, 3, 4, 8} {
+				var got []spatial.Entry
+				ix.WindowOrdered(w, workers, func(e spatial.Entry) { got = append(got, e) })
+				if len(got) != len(want) {
+					t.Fatalf("%s window %d workers=%d: %d results, want %d",
+						name, i, workers, len(got), len(want))
+				}
+				for j := range got {
+					if got[j].ID != want[j].ID || got[j].Rect != want[j].Rect {
+						t.Fatalf("%s window %d workers=%d: result %d = %v, want %v",
+							name, i, workers, j, got[j], want[j])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestWindowOrderedStress hammers the parallel kernel from concurrent
+// callers on one shared index; run with -race this doubles as the data
+// race check for the chunk dispatch, pooled buffers, and path metrics.
+func TestWindowOrderedStress(t *testing.T) {
+	rnd := rand.New(rand.NewSource(99))
+	ix, _ := buildRandom(rnd, 5000, 0.02, Options{NX: 64, NY: 64, Space: unitSquare})
+	windows := make([]geom.Rect, 16)
+	wants := make([]int, 16)
+	for i := range windows {
+		windows[i] = randWindow(rnd, 0.7)
+		ix.Window(windows[i], func(spatial.Entry) { wants[i]++ })
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rep := 0; rep < 20; rep++ {
+				i := (g + rep) % len(windows)
+				n := 0
+				ix.WindowOrdered(windows[i], 1+(g+rep)%4, func(spatial.Entry) { n++ })
+				if n != wants[i] {
+					t.Errorf("goroutine %d window %d: %d results, want %d", g, i, n, wants[i])
+					return
+				}
+				if c := ix.WindowCountFast(windows[i]); c != wants[i] {
+					t.Errorf("goroutine %d window %d: count %d, want %d", g, i, c, wants[i])
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestQueryPathStatsCounters checks that the always-on path counters
+// move: pushdown counts bump FastCounts, interior tiles bump
+// FastTiles/BulkEntries, and forced-parallel queries bump
+// ParallelQueries/ParallelChunks.
+func TestQueryPathStatsCounters(t *testing.T) {
+	rnd := rand.New(rand.NewSource(5))
+	ix, _ := buildRandom(rnd, 4000, 0.02, Options{NX: 8, NY: 8, Space: unitSquare})
+
+	before := ix.QueryPathStats()
+	n := ix.WindowCountFast(unitSquare)
+	if n != 4000 {
+		t.Fatalf("whole-space count = %d, want 4000", n)
+	}
+	after := ix.QueryPathStats()
+	if after.FastCounts != before.FastCounts+1 {
+		t.Errorf("FastCounts = %d, want %d", after.FastCounts, before.FastCounts+1)
+	}
+	if after.FastTiles <= before.FastTiles {
+		t.Errorf("FastTiles did not advance: %d -> %d", before.FastTiles, after.FastTiles)
+	}
+	// Border tiles extend to infinity and are never interior, so only
+	// the inner tiles' entries count as bulk.
+	if after.BulkEntries <= before.BulkEntries {
+		t.Errorf("BulkEntries did not advance: %d -> %d", before.BulkEntries, after.BulkEntries)
+	}
+
+	// A view shares the same counters.
+	var stats Stats
+	v := ix.View(&stats)
+	_ = v.WindowIDs(unitSquare, nil)
+	if got := ix.QueryPathStats(); got.SequentialQueries <= after.SequentialQueries {
+		t.Errorf("SequentialQueries did not advance through a view: %d -> %d",
+			after.SequentialQueries, got.SequentialQueries)
+	}
+
+	before = ix.QueryPathStats()
+	ix.WindowOrdered(unitSquare, 4, func(spatial.Entry) {})
+	after = ix.QueryPathStats()
+	if after.ParallelQueries != before.ParallelQueries+1 {
+		t.Errorf("ParallelQueries = %d, want %d", after.ParallelQueries, before.ParallelQueries+1)
+	}
+	if after.ParallelChunks <= before.ParallelChunks {
+		t.Errorf("ParallelChunks did not advance: %d -> %d", before.ParallelChunks, after.ParallelChunks)
+	}
+}
+
+// TestWindowCollectionAllocs pins the pooled collection paths at zero
+// allocations per query once the pools and result buffer are warm.
+func TestWindowCollectionAllocs(t *testing.T) {
+	rnd := rand.New(rand.NewSource(3))
+	ix, _ := buildRandom(rnd, 10000, 0.01, Options{NX: 64, NY: 64, Space: unitSquare})
+	w := geom.Rect{MinX: 0.2, MinY: 0.2, MaxX: 0.6, MaxY: 0.6}
+	buf := ix.WindowIDs(w, nil)
+	if len(buf) == 0 {
+		t.Fatal("test window matched nothing")
+	}
+
+	if avg := testing.AllocsPerRun(100, func() {
+		buf = ix.WindowIDs(w, buf[:0])
+	}); avg != 0 {
+		t.Errorf("WindowIDs allocates %.1f times per run, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(100, func() {
+		_ = ix.WindowCount(w)
+	}); avg != 0 {
+		t.Errorf("WindowCount allocates %.1f times per run, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(100, func() {
+		_, _ = ix.SearchCount(Query{Window: &w})
+	}); avg != 0 {
+		t.Errorf("SearchCount allocates %.1f times per run, want 0", avg)
+	}
+}

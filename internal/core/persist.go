@@ -252,5 +252,6 @@ func Load(r io.Reader) (*Index, error) {
 	if ix.opts.Decompose {
 		ix.BuildDecomposed()
 	}
+	ix.buildCountIndex()
 	return ix, nil
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"github.com/twolayer/twolayer/internal/geom"
 	"github.com/twolayer/twolayer/internal/spatial"
@@ -122,7 +123,7 @@ func (ix *Index) Search(q Query, fn func(e spatial.Entry) bool) (complete bool, 
 	case q.Window != nil && q.Exact:
 		ix.windowExactEntries(*q.Window, q.Mode, sink)
 	case q.Window != nil:
-		ix.WindowUntil(*q.Window, deliver)
+		ix.searchWindow(*q.Window, q.Limit, deliver)
 	case q.Disk != nil && q.Exact:
 		ix.diskExactEntries(q.Disk.Center, q.Disk.Radius, q.Mode, sink)
 	case q.Disk != nil:
@@ -133,22 +134,86 @@ func (ix *Index) Search(q Query, fn func(e spatial.Entry) bool) (complete bool, 
 	return complete, nil
 }
 
+// searchWindow evaluates the plain (non-exact) window shape of a Search:
+// the cost gate routes large unlimited (or effectively unlimited)
+// queries to the chunked parallel kernel and everything else to the
+// early-terminating sequential scan.
+func (ix *Index) searchWindow(w geom.Rect, limit int, deliver func(e spatial.Entry) bool) {
+	if !w.Valid() {
+		return
+	}
+	ix0, iy0, ix1, iy1 := ix.g.CoverRect(w)
+	if workers := ix.autoWindowWorkers(ix0, iy0, ix1, iy1, w, limit); workers > 1 {
+		ix.windowChunked(w, ix0, iy0, ix1, iy1, workers, deliver)
+		return
+	}
+	// The gate ran and chose the sequential kernel; count the decision
+	// here because WindowUntil is also the substrate of probes
+	// (Intersects), which never consult the gate.
+	if ix.met != nil {
+		ix.met.sequentialQueries.Add(1)
+	}
+	ix.WindowUntil(w, deliver)
+}
+
+// searchIDCollector pools the append sink of SearchIDs; the closure is
+// bound once at pool construction so the collection path stays at zero
+// allocations per call (beyond slice growth).
+type searchIDCollector struct {
+	ids []spatial.ID
+	fn  func(spatial.Entry) bool
+}
+
+var searchIDPool = sync.Pool{New: func() any {
+	c := &searchIDCollector{}
+	c.fn = func(e spatial.Entry) bool {
+		c.ids = append(c.ids, e.ID)
+		return true
+	}
+	return c
+}}
+
 // SearchIDs evaluates q and returns the IDs of all matching objects,
 // appending to buf (which may be nil).
 func (ix *Index) SearchIDs(q Query, buf []spatial.ID) ([]spatial.ID, error) {
-	_, err := ix.Search(q, func(e spatial.Entry) bool {
-		buf = append(buf, e.ID)
-		return true
-	})
+	c := searchIDPool.Get().(*searchIDCollector)
+	c.ids = buf
+	_, err := ix.Search(q, c.fn)
+	out := c.ids
+	c.ids = nil
+	searchIDPool.Put(c)
 	if err != nil {
 		return nil, err
 	}
-	return buf, nil
+	return out, nil
 }
 
 // SearchCount evaluates q and returns the number of matching objects.
-// A Limit caps the count like it caps streamed results.
+// A Limit caps the count like it caps streamed results. Plain (non-
+// exact) shapes take the count-pushdown kernels — window counts run in
+// O(tiles covered) on interior-dominated covers, and no per-entry
+// callback is invoked — so counting is substantially cheaper than
+// streaming the same query. A capped count equals min(total, Limit),
+// which is exactly what the early-terminating streamed path reports.
 func (ix *Index) SearchCount(q Query) (int, error) {
+	if err := q.Validate(); err != nil {
+		return 0, err
+	}
+	if !q.Exact {
+		var n int
+		switch {
+		case q.Window != nil:
+			n = ix.WindowCountFast(*q.Window)
+		case q.Disk != nil:
+			n = ix.DiskCount(q.Disk.Center, q.Disk.Radius)
+		default:
+			n = ix.QueryCount(q.Region)
+		}
+		if q.Limit > 0 && n > q.Limit {
+			n = q.Limit
+		}
+		return n, nil
+	}
 	n := 0
 	_, err := ix.Search(q, func(spatial.Entry) bool {
 		n++

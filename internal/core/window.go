@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"sync"
 
 	"github.com/twolayer/twolayer/internal/geom"
 	"github.com/twolayer/twolayer/internal/spatial"
@@ -10,12 +11,29 @@ import (
 // Window runs the filtering step of a window query: fn is invoked exactly
 // once for every entry whose MBR intersects w. No duplicates are ever
 // produced, so no result deduplication happens anywhere (Algorithm 1 of
-// the paper).
+// the paper). Large windows (by the cost gate of autoWindowWorkers) are
+// evaluated by the chunked parallel kernel; fn still runs on the
+// caller's goroutine and still observes the sequential delivery order.
 func (ix *Index) Window(w geom.Rect, fn func(e spatial.Entry)) {
 	if !w.Valid() {
 		return
 	}
 	ix0, iy0, ix1, iy1 := ix.g.CoverRect(w)
+	if workers := ix.autoWindowWorkers(ix0, iy0, ix1, iy1, w, 0); workers > 1 {
+		ix.windowChunked(w, ix0, iy0, ix1, iy1, workers, func(e spatial.Entry) bool {
+			fn(e)
+			return true
+		})
+		return
+	}
+	ix.windowSeq(w, ix0, iy0, ix1, iy1, fn)
+}
+
+// windowSeq is the classic sequential tile loop over a precomputed cover.
+func (ix *Index) windowSeq(w geom.Rect, ix0, iy0, ix1, iy1 int, fn func(e spatial.Entry)) {
+	if ix.met != nil {
+		ix.met.sequentialQueries.Add(1)
+	}
 	for ty := iy0; ty <= iy1; ty++ {
 		for tx := ix0; tx <= ix1; tx++ {
 			t := ix.tileAt(tx, ty)
@@ -27,19 +45,39 @@ func (ix *Index) Window(w geom.Rect, fn func(e spatial.Entry)) {
 	}
 }
 
+// idCollector is a pooled ID sink whose append closure is bound once at
+// pool construction, so WindowIDs and DiskIDs stay at zero allocations
+// per call after warm-up (a fresh per-call closure would escape and
+// allocate on every query).
+type idCollector struct {
+	ids  []spatial.ID
+	emit func(spatial.Entry)
+}
+
+var idCollectorPool = sync.Pool{New: func() any {
+	c := &idCollector{}
+	c.emit = func(e spatial.Entry) { c.ids = append(c.ids, e.ID) }
+	return c
+}}
+
 // WindowIDs runs Window and collects result IDs into buf, which may be nil
 // or a reused buffer.
 func (ix *Index) WindowIDs(w geom.Rect, buf []spatial.ID) []spatial.ID {
-	buf = buf[:0]
-	ix.Window(w, func(e spatial.Entry) { buf = append(buf, e.ID) })
-	return buf
+	c := idCollectorPool.Get().(*idCollector)
+	c.ids = buf[:0]
+	ix.Window(w, c.emit)
+	out := c.ids
+	c.ids = nil
+	idCollectorPool.Put(c)
+	return out
 }
 
-// WindowCount returns the number of MBRs intersecting w.
+// WindowCount returns the number of MBRs intersecting w. It is served by
+// the count-pushdown kernel: interior tiles contribute class lengths in
+// O(1) and decomposed border tiles are answered by binary search, so no
+// per-entry callback runs (see WindowCountFast).
 func (ix *Index) WindowCount(w geom.Rect) int {
-	n := 0
-	ix.Window(w, func(spatial.Entry) { n++ })
-	return n
+	return ix.WindowCountFast(w)
 }
 
 // tileComparisonPlan captures which coordinate comparisons the entries of

@@ -1,0 +1,78 @@
+package server
+
+import (
+	"net/http"
+	"testing"
+)
+
+// TestV1WindowEstimate checks the "estimate": true envelope flag: the
+// window endpoint returns the planner's cardinality estimate alongside
+// the results, and the disk endpoint rejects the flag.
+func TestV1WindowEstimate(t *testing.T) {
+	s := testServer(t, nil)
+	h := s.Handler()
+
+	var resp rangeResponse
+	w := do(t, h, "POST", "/v1/window", `{`+fullWindow+`,"count_only":true,"estimate":true}`, &resp)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	if resp.Count != 100 {
+		t.Fatalf("count = %d, want 100", resp.Count)
+	}
+	if resp.Estimate == nil {
+		t.Fatal("estimate requested but missing from response")
+	}
+	// Uniform non-replicated data: the histogram estimate is near-exact.
+	if *resp.Estimate < 90 || *resp.Estimate > 110 {
+		t.Errorf("estimate = %g, want ~100", *resp.Estimate)
+	}
+
+	// Without the flag the field is absent.
+	resp = rangeResponse{}
+	do(t, h, "POST", "/v1/window", `{`+fullWindow+`,"count_only":true}`, &resp)
+	if resp.Estimate != nil {
+		t.Errorf("estimate present without being requested: %g", *resp.Estimate)
+	}
+
+	// The disk endpoint rejects it.
+	w = do(t, h, "POST", "/v1/disk",
+		`{"disk":{"center":{"x":0.5,"y":0.5},"radius":0.2},"estimate":true}`, nil)
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("disk estimate: status %d, want 400", w.Code)
+	}
+}
+
+// TestAdaptiveKernelMetrics checks that the always-on path counters are
+// exported on /metrics regardless of CollectStats, and that a count-only
+// /v1 window query on an uninstrumented server advances the pushdown
+// counter.
+func TestAdaptiveKernelMetrics(t *testing.T) {
+	s := testServer(t, func(c *Config) { c.CollectStats = false })
+	h := s.Handler()
+
+	before := scrapeMetrics(t, h)
+	for _, name := range []string{
+		"twolayer_query_fastpath_counts_total",
+		"twolayer_query_fastpath_tiles_total",
+		"twolayer_query_fastpath_bulk_entries_total",
+		"twolayer_query_parallel_queries_total",
+		"twolayer_query_parallel_chunks_total",
+		"twolayer_query_sequential_queries_total",
+	} {
+		if _, ok := before[name]; !ok {
+			t.Errorf("metric %s not exported", name)
+		}
+	}
+
+	var resp rangeResponse
+	do(t, h, "POST", "/v1/window", `{`+fullWindow+`,"count_only":true}`, &resp)
+	if resp.Count != 100 {
+		t.Fatalf("count = %d, want 100", resp.Count)
+	}
+	after := scrapeMetrics(t, h)
+	if got := after["twolayer_query_fastpath_counts_total"]; got != before["twolayer_query_fastpath_counts_total"]+1 {
+		t.Errorf("fastpath_counts_total = %g, want %g",
+			got, before["twolayer_query_fastpath_counts_total"]+1)
+	}
+}

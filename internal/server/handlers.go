@@ -5,6 +5,7 @@ import (
 	"math"
 	"net/http"
 	"runtime"
+	"sync"
 	"time"
 
 	twolayer "github.com/twolayer/twolayer"
@@ -108,8 +109,18 @@ type rangeResponse struct {
 	Results   []resultJSON `json:"results,omitempty"`
 	Truncated bool         `json:"truncated"`
 	ElapsedUS int64        `json:"elapsed_us"`
-	Trace     *traceJSON   `json:"trace,omitempty"`
+	// Estimate is the planner's O(tiles) cardinality estimate, present
+	// when the /v1 envelope asked for it ("estimate": true, window only).
+	Estimate *float64   `json:"estimate,omitempty"`
+	Trace    *traceJSON `json:"trace,omitempty"`
 }
+
+// resultBufPool recycles /v1 result buffers across requests so the
+// collection path allocates nothing per call beyond the JSON encoding.
+var resultBufPool = sync.Pool{New: func() any {
+	buf := make([]resultJSON, 0, 512)
+	return &buf
+}}
 
 type neighborJSON struct {
 	ID       twolayer.ID `json:"id"`
@@ -143,6 +154,16 @@ type shardSpanJSON struct {
 	Results   int   `json:"results"`
 }
 
+// chunkSpanJSON is one tile-row chunk of a parallel window evaluation in
+// a trace: the inclusive tile-row range it scanned, its wall time, and
+// the results it buffered.
+type chunkSpanJSON struct {
+	Row0      int   `json:"row0"`
+	Row1      int   `json:"row1"`
+	ElapsedUS int64 `json:"elapsed_us"`
+	Results   int   `json:"results"`
+}
+
 // traceJSON is the per-query trace attached to responses (the "trace"
 // field) when tracing was requested: wall-clock stage timings plus the
 // full core counter set of this one evaluation. On a sharded server the
@@ -152,6 +173,8 @@ type traceJSON struct {
 	Kind                 string          `json:"kind"`
 	ElapsedUS            int64           `json:"elapsed_us"`
 	Shards               []shardSpanJSON `json:"shards,omitempty"`
+	Parallel             bool            `json:"parallel,omitempty"`
+	Chunks               []chunkSpanJSON `json:"chunks,omitempty"`
 	FilterUS             int64           `json:"filter_us"`
 	RefineUS             int64           `json:"refine_us"`
 	TilesVisited         int64           `json:"tiles_visited"`
@@ -169,9 +192,23 @@ type traceJSON struct {
 }
 
 func newTraceJSON(tr *twolayer.Trace) *traceJSON {
+	var chunks []chunkSpanJSON
+	if len(tr.Chunks) > 0 {
+		chunks = make([]chunkSpanJSON, len(tr.Chunks))
+		for i, c := range tr.Chunks {
+			chunks[i] = chunkSpanJSON{
+				Row0:      c.Row0,
+				Row1:      c.Row1,
+				ElapsedUS: c.ElapsedNS / 1000,
+				Results:   c.Results,
+			}
+		}
+	}
 	return &traceJSON{
 		Kind:                 tr.Kind,
 		ElapsedUS:            tr.ElapsedNS / 1000,
+		Parallel:             tr.Parallel,
+		Chunks:               chunks,
 		FilterUS:             tr.FilterNS() / 1000,
 		RefineUS:             tr.RefineNS / 1000,
 		TilesVisited:         tr.TilesVisited,
@@ -228,6 +265,16 @@ func (s *Server) reader() reader {
 		return sh
 	}
 	return s.index()
+}
+
+// estimateWindow returns the engine's O(tiles) cardinality estimate for
+// a window, routing to the sharded engine (per-shard sums) or the
+// unsharded index of the current snapshot.
+func (s *Server) estimateWindow(rect twolayer.Rect) float64 {
+	if sh := s.shardedSnap(); sh != nil {
+		return sh.EstimateWindow(rect)
+	}
+	return s.index().EstimateWindow(rect)
 }
 
 // shardCount returns the number of shards, or 0 on an unsharded server.

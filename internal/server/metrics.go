@@ -218,6 +218,35 @@ func newMetrics(s *Server, endpointNames []string) *Metrics {
 		"Point-distance evaluations in disk and kNN queries.",
 		func(st *twolayer.Stats) int64 { return st.DistanceComputations })
 
+	// ---- adaptive kernel group --------------------------------------------
+	// Unlike the CollectStats aggregation above, these read the engine's
+	// always-on PathStats counters (shared across every view and
+	// copy-on-write snapshot of the served engine), so they are populated
+	// regardless of Config.CollectStats.
+	pathCounter := func(name, help string, get func(twolayer.PathStats) int64) {
+		r.CounterFunc(name, help, func() float64 {
+			return float64(get(s.reader().QueryPathStats()))
+		})
+	}
+	pathCounter("twolayer_query_fastpath_counts_total",
+		"Count-only queries answered by the O(tiles) count pushdown instead of a streamed scan.",
+		func(ps twolayer.PathStats) int64 { return ps.FastCounts })
+	pathCounter("twolayer_query_fastpath_tiles_total",
+		"Tiles answered wholesale because their comparison plan was empty (interior tiles).",
+		func(ps twolayer.PathStats) int64 { return ps.FastTiles })
+	pathCounter("twolayer_query_fastpath_bulk_entries_total",
+		"Entries counted or emitted in bulk with zero per-entry comparisons.",
+		func(ps twolayer.PathStats) int64 { return ps.BulkEntries })
+	pathCounter("twolayer_query_parallel_queries_total",
+		"Window queries executed by the chunked intra-query parallel kernel.",
+		func(ps twolayer.PathStats) int64 { return ps.ParallelQueries })
+	pathCounter("twolayer_query_parallel_chunks_total",
+		"Tile-row chunks dispatched by parallel window queries.",
+		func(ps twolayer.PathStats) int64 { return ps.ParallelChunks })
+	pathCounter("twolayer_query_sequential_queries_total",
+		"Window queries the cost gate kept on the zero-overhead sequential path.",
+		func(ps twolayer.PathStats) int64 { return ps.SequentialQueries })
+
 	// ---- live group -------------------------------------------------------
 	if s.mut != nil {
 		live := s.mut

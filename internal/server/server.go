@@ -151,6 +151,7 @@ type reader interface {
 	ReplicationFactor() float64
 	PartitionStats() twolayer.PartitionStats
 	HasExactGeometries() bool
+	QueryPathStats() twolayer.PathStats
 }
 
 // mutator is the mutation surface of a live-mode server, satisfied by

@@ -33,11 +33,18 @@ type queryEnvelope struct {
 	Exact bool   `json:"exact"`
 	Mode  string `json:"mode"`
 	// CountOnly returns only the match count; the limit is ignored.
+	// Non-exact window counts are answered by the O(tiles) count
+	// pushdown instead of a streamed scan.
 	CountOnly bool `json:"count_only"`
 	// Limit caps the results (0 = server default, DefaultResultLimit).
 	Limit int `json:"limit"`
 	// Trace attaches the per-query trace to the response.
 	Trace bool `json:"trace"`
+	// Estimate (window endpoint only) additionally returns the planner's
+	// O(tiles) cardinality estimate in the "estimate" response field.
+	// The estimate sums class-A tile histograms, so it skews low for
+	// heavily replicated data; see docs/SERVER.md#v1-api.
+	Estimate bool `json:"estimate"`
 }
 
 // parseRefineMode maps the envelope's mode string to a RefineMode.
@@ -76,6 +83,10 @@ func (s *Server) decodeEnvelope(w http.ResponseWriter, r *http.Request, kind str
 	case "disk":
 		if env.Disk == nil || env.Window != nil {
 			writeError(w, http.StatusBadRequest, `/v1/disk requires the "disk" shape (and no "window")`)
+			return env, q, 0, false
+		}
+		if env.Estimate {
+			writeError(w, http.StatusBadRequest, `"estimate" is only available on /v1/window`)
 			return env, q, 0, false
 		}
 		if msg := env.Disk.Center.validate(); msg != "" {
@@ -120,8 +131,11 @@ func (s *Server) handleV1Disk(w http.ResponseWriter, r *http.Request) {
 // handleV1Range evaluates a /v1 window or disk query with the unified
 // semantics: the limit folds into the descriptor (the engine stops
 // delivering once it is reached and reports the query incomplete), and
-// count_only streams without buffering. Cancellation is cooperative
-// every ctxPollInterval results, like the legacy endpoints.
+// count_only answers without buffering — non-exact counts go through the
+// engine's count pushdown (SearchCount), which never materializes the
+// result stream at all. Cancellation is cooperative every
+// ctxPollInterval results on the streaming paths; the pushdown path is
+// O(tiles) and only checks the deadline before starting.
 func (s *Server) handleV1Range(w http.ResponseWriter, r *http.Request, kind string) {
 	env, q, limit, ok := s.decodeEnvelope(w, r, kind)
 	if !ok {
@@ -134,9 +148,23 @@ func (s *Server) handleV1Range(w http.ResponseWriter, r *http.Request, kind stri
 		return
 	}
 	resp := rangeResponse{}
+	if env.Estimate {
+		est := s.estimateWindow(*q.Window)
+		resp.Estimate = &est
+	}
 	start := time.Now()
 
-	if env.CountOnly {
+	switch {
+	case env.CountOnly && !q.Exact:
+		n, err := view.SearchCount(q)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		resp.Count = n
+	case env.CountOnly:
+		// Exact counts still stream: refinement is per-candidate work, so
+		// the deadline poll has to stay inside the loop.
 		interrupted := false
 		seen := 0
 		_, err := view.Search(q, func(twolayer.ID, twolayer.Rect) bool {
@@ -156,8 +184,14 @@ func (s *Server) handleV1Range(w http.ResponseWriter, r *http.Request, kind stri
 			return
 		}
 		resp.Count = seen
-	} else {
+	default:
 		q.Limit = limit
+		buf := resultBufPool.Get().(*[]resultJSON)
+		defer func() {
+			*buf = (*buf)[:0]
+			resultBufPool.Put(buf)
+		}()
+		resp.Results = (*buf)[:0]
 		interrupted := false
 		complete, err := view.Search(q, func(id twolayer.ID, mbr twolayer.Rect) bool {
 			res := resultJSON{ID: id}
@@ -171,6 +205,7 @@ func (s *Server) handleV1Range(w http.ResponseWriter, r *http.Request, kind stri
 			}
 			return true
 		})
+		*buf = resp.Results
 		if err != nil {
 			writeError(w, http.StatusBadRequest, err.Error())
 			return

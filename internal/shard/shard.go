@@ -360,6 +360,14 @@ func (e *Engine) SearchIDs(q core.Query, buf []spatial.ID) ([]spatial.ID, error)
 // without buffering results: fanned-out shards count their owned matches
 // independently and the counts sum. A Limit caps the total like it caps
 // streamed results.
+//
+// Plain window queries push the count all the way down: the cover's
+// first shard runs the O(tiles)-biased WindowCountFast kernel and every
+// other shard runs WindowCountFiltered against its slab's left edge —
+// the home-shard dedup rule expressed as a coordinate filter (an entry
+// stored in shard s always begins left of the slab's right edge, so
+// "homed to s" reduces to MinX >= bounds[s-1]). No entry is streamed
+// through a callback anywhere on that path.
 func (e *Engine) SearchCount(q core.Query, spans *[]Span) (int, error) {
 	if err := q.Validate(); err != nil {
 		return 0, err
@@ -397,15 +405,24 @@ func (e *Engine) SearchCount(q core.Query, spans *[]Span) (int, error) {
 			sc.queries.Add(1)
 			start := time.Now()
 			n := 0
-			e.shards[s].Search(sub, func(ent spatial.Entry) bool {
-				if s == lo || e.lay.shardOf(ent.Rect.MinX) == s {
-					n++
-					if q.Limit > 0 && n >= q.Limit {
-						return false
-					}
+			switch {
+			case q.Window != nil && !q.Exact:
+				if s == lo {
+					n = e.shards[s].WindowCountFast(*q.Window)
+				} else {
+					n = e.shards[s].WindowCountFiltered(*q.Window, e.lay.bounds[s-1])
 				}
-				return true
-			})
+			default:
+				e.shards[s].Search(sub, func(ent spatial.Entry) bool {
+					if s == lo || e.lay.shardOf(ent.Rect.MinX) == s {
+						n++
+						if q.Limit > 0 && n >= q.Limit {
+							return false
+						}
+					}
+					return true
+				})
+			}
 			elapsed := time.Since(start).Nanoseconds()
 			sc.busyNS.Add(elapsed)
 			sc.results.Add(uint64(n))
@@ -690,6 +707,35 @@ func (e *Engine) PartitionStats() core.PartitionStats {
 // distinct object.
 func (e *Engine) ReplicationFactor() float64 {
 	return e.PartitionStats().ReplicationFactor
+}
+
+// EstimateWindow sums the per-shard selectivity estimates over the
+// shards w covers — the same O(tiles) planning signal core.Index
+// exposes, scatter-gathered. Within a shard the estimate skews low for
+// heavily replicated data (objects larger than a tile contribute through
+// their class-A tile only); across shards, boundary-crossing objects are
+// class A in every shard holding a replica, which skews the sum high.
+// It is a planning signal, not a count.
+func (e *Engine) EstimateWindow(w geom.Rect) float64 {
+	if !w.Valid() {
+		return 0
+	}
+	lo, hi := e.lay.rangeOf(w)
+	est := 0.0
+	for s := lo; s <= hi; s++ {
+		est += e.shards[s].EstimateWindow(w)
+	}
+	return est
+}
+
+// QueryPathStats sums the per-shard adaptive-kernel counters (fast-path
+// counts, bulk-counted entries, parallel chunking decisions).
+func (e *Engine) QueryPathStats() core.PathStats {
+	var out core.PathStats
+	for _, six := range e.shards {
+		out.Add(six.QueryPathStats())
+	}
+	return out
 }
 
 // Stats snapshots the engine's scatter-gather counters.

@@ -235,6 +235,18 @@ func (s *Sharded) ReplicationFactor() float64 { return s.eng.ReplicationFactor()
 // and the derived ratios include cross-shard boundary copies.
 func (s *Sharded) PartitionStats() PartitionStats { return s.eng.PartitionStats() }
 
+// EstimateWindow predicts the result cardinality of a window query by
+// summing the per-shard O(tiles) estimates over the shards the window
+// covers. Within a shard the estimate undercounts heavily replicated
+// data; across shards, boundary-crossing objects are counted once per
+// holding shard, which overcounts. Treat it as a planning signal, not a
+// count.
+func (s *Sharded) EstimateWindow(w Rect) float64 { return s.eng.EstimateWindow(w) }
+
+// QueryPathStats sums the adaptive query-execution counters over all
+// shards (see Index.QueryPathStats).
+func (s *Sharded) QueryPathStats() PathStats { return s.eng.QueryPathStats() }
+
 // ShardStat is the per-shard slice of ShardedStats.
 type ShardStat = shard.ShardStat
 

@@ -35,6 +35,12 @@ type (
 	// Trace is a per-query observability record: the Stats counters plus
 	// wall-clock stage timings (see Index.Traced).
 	Trace = core.Trace
+	// ChunkSpan records one tile-row chunk of a window query evaluated by
+	// the intra-query parallel kernel (see Trace.Chunks).
+	ChunkSpan = core.ChunkSpan
+	// PathStats snapshots the always-on adaptive query-execution counters
+	// (see Index.QueryPathStats and Sharded.QueryPathStats).
+	PathStats = core.PathStats
 	// PartitionStats summarizes the shape of the two-layer partitioning
 	// (see Index.PartitionStats).
 	PartitionStats = core.PartitionStats
@@ -413,6 +419,26 @@ func (ix *Index) WindowParallel(w Rect, threads int, fn func(id ID, mbr Rect)) {
 	ix.core.WindowParallel(w, threads, func(e spatial.Entry) { fn(e.ID, e.Rect) })
 }
 
+// WindowOrdered evaluates one window query over the given number of
+// workers with the results delivered to fn on the caller's goroutine in
+// exactly the sequential scan order: unlike WindowParallel, fn needs no
+// synchronization. workers <= 0 uses all cores; 1 runs the plain
+// sequential scan. Window and Search apply the same kernel automatically
+// to large windows behind a cost gate (see Index.QueryPathStats), so
+// this entry point is for callers that want to force a worker count.
+func (ix *Index) WindowOrdered(w Rect, workers int, fn func(id ID, mbr Rect)) {
+	ix.core.WindowOrdered(w, workers, func(e spatial.Entry) { fn(e.ID, e.Rect) })
+}
+
+// QueryPathStats snapshots the always-on adaptive query-execution
+// counters: how often count-only queries took the O(tiles) pushdown
+// kernel, how many tiles and entries were answered in bulk with zero
+// comparisons, and how often the cost gate engaged (or skipped)
+// intra-query parallelism. Counters are cumulative over the index
+// lifetime and shared with all read views and Live snapshots of the
+// same engine.
+func (ix *Index) QueryPathStats() PathStats { return ix.core.QueryPathStats() }
+
 // JoinParallel runs the spatial join with tiles distributed over
 // threads; fn must be safe for concurrent use.
 func (ix *Index) JoinParallel(other *Index, threads int, fn func(rID, sID ID)) {
@@ -431,8 +457,13 @@ func (ix *Index) JoinParallelErr(other *Index, threads int, fn func(rID, sID ID)
 
 // EstimateWindow predicts the result cardinality of a window query from
 // the grid's per-tile counts in O(tiles covered) time, without touching
-// entries. It assumes uniform mass within each tile and undercounts
-// heavily replicated objects.
+// entries. It assumes uniform mass within each tile, and because objects
+// larger than a tile contribute through their class-A (reference) tile
+// only, it undercounts heavily replicated data — treat it as a
+// lower-bound-flavoured planning signal, not a count. The query planner
+// itself consults the same estimate when cost-gating intra-query
+// parallelism, and the /v1 HTTP API exposes it via "estimate": true, so
+// clients and the planner share one selectivity signal.
 func (ix *Index) EstimateWindow(w Rect) float64 { return ix.core.EstimateWindow(w) }
 
 // WindowUntil streams filtering results until fn returns false,
