@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check build fmt-check vet test test-race race-hot bench bench-build bench-json bench-shard bench-query fuzz-short experiments docs-check
+.PHONY: check build fmt-check vet test test-race test-shuffle race-hot bench bench-build bench-json bench-shard bench-query fuzz-short experiments docs-check
 
 check: build fmt-check vet test-race docs-check
 
@@ -32,6 +32,12 @@ test:
 
 test-race:
 	$(GO) test -race ./...
+
+# Order-independence gate: run every test twice in a shuffled order, so
+# tests leaking state into package-level singletons (or depending on a
+# sibling having run first) fail here instead of flaking in -race runs.
+test-shuffle:
+	$(GO) test -shuffle=on -count=2 ./...
 
 # The concurrency-heavy packages only — a faster race pass for iterating
 # on the live (copy-on-write) index and the HTTP server.
@@ -95,6 +101,7 @@ fuzz-short:
 	$(GO) test -run '^$$' -fuzz '^FuzzWindow$$' -fuzztime $(FUZZTIME) ./internal/core
 	$(GO) test -run '^$$' -fuzz '^FuzzSnapshotDecode$$' -fuzztime $(FUZZTIME) ./internal/core
 	$(GO) test -run '^$$' -fuzz '^FuzzWALReplay$$' -fuzztime $(FUZZTIME) ./internal/wal
+	$(GO) test -run '^$$' -fuzz '^FuzzV1Envelope$$' -fuzztime $(FUZZTIME) ./internal/server
 
 experiments:
 	$(GO) run ./cmd/experiments -exp all

@@ -143,6 +143,9 @@ func main() {
 	fsyncInterval := flag.Duration("fsync-interval", 100*time.Millisecond, "durable mode: background fsync period under -fsync=interval")
 	checkpointEvery := flag.Int("checkpoint-every", 0, "durable mode: automatic checkpoint after this many mutations (0 = default 65536, negative = never)")
 	segmentBytes := flag.Int64("segment-bytes", 0, "durable mode: log segment rotation threshold in bytes (0 = default 8 MiB)")
+	maxInflight := flag.Int("max-inflight", 0, "admission control: concurrent requests per endpoint class (0 = default max(16, 4*GOMAXPROCS), negative = disable admission control)")
+	queueDepth := flag.Int("queue-depth", 0, "admission control: waiting requests per endpoint class before shedding with 429 (0 = default 8*max-inflight, negative = no queue)")
+	maxBacklog := flag.Int("max-backlog", 0, "live mode: reject mutations with 503 once this many are accepted but not yet published, per shard (0 = unbounded)")
 	pprofFlag := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
 	flag.Parse()
@@ -224,6 +227,11 @@ func main() {
 		SlowQueryThreshold: time.Duration(*slowQueryMS) * time.Millisecond,
 		BuildDuration:      buildDur,
 		EnablePprof:        *pprofFlag,
+		MaxInflight:        *maxInflight,
+		QueueDepth:         *queueDepth,
+	}
+	if *maxBacklog < 0 {
+		fail(fmt.Errorf("-max-backlog must be >= 0"))
 	}
 	switch {
 	case durable && sharded:
@@ -233,7 +241,7 @@ func main() {
 		}
 		dl, infos, err := twolayer.OpenShardedDurable(
 			twolayer.Options{GridSize: *gridSize, Decompose: *decompose},
-			twolayer.LiveOptions{RebuildEvery: *rebuildEvery},
+			twolayer.LiveOptions{RebuildEvery: *rebuildEvery, MaxBacklog: *maxBacklog},
 			twolayer.ShardedDurableOptions{
 				Dir:             *dataDir,
 				Fsync:           policy,
@@ -269,7 +277,7 @@ func main() {
 		}
 		dl, info, err := twolayer.OpenDurable(
 			twolayer.Options{GridSize: *gridSize, Decompose: *decompose},
-			twolayer.LiveOptions{RebuildEvery: *rebuildEvery},
+			twolayer.LiveOptions{RebuildEvery: *rebuildEvery, MaxBacklog: *maxBacklog},
 			twolayer.DurableOptions{
 				Dir:             *dataDir,
 				Fsync:           policy,
@@ -296,18 +304,21 @@ func main() {
 			"replayed_records", info.ReplayedRecords,
 			"truncated_tail", info.TruncatedTail)
 	case *live && sharded:
-		lv := twolayer.ShardedLiveFrom(shardedIdx, twolayer.LiveOptions{RebuildEvery: *rebuildEvery})
+		lv := twolayer.ShardedLiveFrom(shardedIdx, twolayer.LiveOptions{RebuildEvery: *rebuildEvery, MaxBacklog: *maxBacklog})
 		defer lv.Close()
 		cfg.ShardedLive = lv
 		logger.Info("sharded live mode", "shards", lv.Shards(), "rebuild_every", *rebuildEvery)
 	case *live:
-		lv := twolayer.LiveFrom(idx, twolayer.LiveOptions{RebuildEvery: *rebuildEvery})
+		lv := twolayer.LiveFrom(idx, twolayer.LiveOptions{RebuildEvery: *rebuildEvery, MaxBacklog: *maxBacklog})
 		defer lv.Close()
 		cfg.Live = lv
 		logger.Info("live mode", "rebuild_every", *rebuildEvery)
 	default:
 		if *rebuildEvery != 0 {
 			fail(fmt.Errorf("-rebuild-every requires -live"))
+		}
+		if *maxBacklog != 0 {
+			fail(fmt.Errorf("-max-backlog requires -live"))
 		}
 		if sharded {
 			cfg.Sharded = shardedIdx

@@ -38,6 +38,13 @@ import (
 // ErrLiveClosed is returned for mutations submitted after Close.
 var ErrLiveClosed = errors.New("core: live index is closed")
 
+// ErrBacklogFull is returned for mutations submitted while the apply
+// loop's pending backlog is at LiveOptions.MaxBacklog. Nothing is
+// enqueued; the caller should back off and retry — the backlog drains at
+// the publish rate, so an overloaded writer sheds instead of growing the
+// queue (and the process's memory) without bound.
+var ErrBacklogFull = errors.New("core: live mutation backlog is full")
+
 // LiveOptions tune the apply loop of a Live index.
 type LiveOptions struct {
 	// MaxBatch caps the mutations applied per published snapshot.
@@ -54,6 +61,14 @@ type LiveOptions struct {
 	// default of 4096; negative disables rebuilding. Rebuilds run with
 	// the parallelism of the index's Options.BuildThreads.
 	RebuildEvery int
+	// MaxBacklog bounds the accepted-but-unpublished mutation backlog:
+	// a submission that would push the pending count beyond it fails
+	// immediately with ErrBacklogFull instead of queuing. This is the
+	// overload valve — QueueDepth bounds queued *requests* (blocking),
+	// MaxBacklog bounds queued *mutations* (rejecting), so a flood of
+	// large batches cannot grow memory without bound. 0 means unbounded
+	// (the pre-backpressure behavior).
+	MaxBacklog int
 	// Journal, when non-nil, is called from the apply loop with every
 	// batch before it is applied or published: epoch is the epoch the
 	// batch will publish as, muts the batch in application order. This is
@@ -114,6 +129,11 @@ type LiveStats struct {
 	Rebuilds    uint64        // decomposed-table rebuilds performed
 	LastBatch   int64         // mutations in the most recent publish
 	LastPublish time.Duration // wall time of the most recent publish
+	// BacklogLimit echoes LiveOptions.MaxBacklog (0 = unbounded) and
+	// Rejected counts submissions refused with ErrBacklogFull, so a
+	// monitoring layer can alarm on backpressure without parsing errors.
+	BacklogLimit int
+	Rejected     uint64
 	// PublishTotal is the cumulative wall time spent in publish (journal
 	// write, copy-on-write apply, rebuild, snapshot swap) since NewLive;
 	// together with Publishes it yields a mean publish latency, and as a
@@ -136,6 +156,7 @@ type Live struct {
 	wg     sync.WaitGroup
 
 	pending       atomic.Int64
+	rejected      atomic.Uint64
 	applied       atomic.Uint64
 	publishes     atomic.Uint64
 	rebuilds      atomic.Uint64
@@ -214,6 +235,19 @@ func (l *Live) Apply(muts []Mutation) (ApplyResult, error) {
 		l.mu.Unlock()
 		return ApplyResult{}, ErrLiveClosed
 	}
+	// Backpressure: refuse (don't block) while the pending backlog is at
+	// or beyond MaxBacklog. The check gates admission rather than size —
+	// a batch admitted at the boundary may overshoot by its own length —
+	// so the backlog stays bounded by MaxBacklog plus one batch and a
+	// batch larger than the bound is still acceptable on an idle loop.
+	// Checked under the lock so concurrent submitters serialize against
+	// the bound.
+	if mb := l.opt.MaxBacklog; mb > 0 && l.pending.Load() >= int64(mb) {
+		l.mu.Unlock()
+		l.rejected.Add(1)
+		return ApplyResult{}, fmt.Errorf("%w: %d pending, limit %d",
+			ErrBacklogFull, l.pending.Load(), mb)
+	}
 	l.pending.Add(int64(len(muts)))
 	// Enqueue under the lock so Close cannot close the channel between
 	// the closed check and the send. The apply loop never takes the lock,
@@ -237,6 +271,8 @@ func (l *Live) Stats() LiveStats {
 		Rebuilds:     l.rebuilds.Load(),
 		LastBatch:    l.lastBatch.Load(),
 		LastPublish:  time.Duration(l.lastPublishNS.Load()),
+		BacklogLimit: l.opt.MaxBacklog,
+		Rejected:     l.rejected.Load(),
 		PublishTotal: time.Duration(l.publishNS.Load()),
 	}
 }

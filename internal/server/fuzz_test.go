@@ -1,0 +1,96 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	twolayer "github.com/twolayer/twolayer"
+)
+
+// FuzzV1Envelope feeds arbitrary bytes to the /v1 envelope decoder
+// end-to-end through the full middleware chain (method check, body
+// limit, admission, evaluation). The server must never panic and must
+// answer every input with a well-formed JSON response: 2xx with the
+// range-response shape, or 4xx with an {"error": ...} body. 5xx means a
+// malformed request escaped validation into the engine — a bug.
+func FuzzV1Envelope(f *testing.F) {
+	// A small geometry-backed index (the fuzz server is shared across
+	// executions; handlers are concurrency-safe by design).
+	var geoms []twolayer.Geometry
+	for j := 0; j < 8; j++ {
+		for i := 0; i < 8; i++ {
+			x, y := float64(i)/8, float64(j)/8
+			geoms = append(geoms, twolayer.NewPolygon(
+				twolayer.Point{X: x, Y: y},
+				twolayer.Point{X: x + 0.05, Y: y},
+				twolayer.Point{X: x + 0.05, Y: y + 0.05},
+				twolayer.Point{X: x, Y: y + 0.05},
+			))
+		}
+	}
+	s := New(Config{
+		Index:        twolayer.BuildGeoms(geoms, twolayer.Options{GridSize: 8, Decompose: true}),
+		Logger:       slog.New(slog.NewTextHandler(io.Discard, nil)),
+		MaxBodyBytes: 1 << 14, // small, so the fuzzer can reach the 413 path
+	})
+	h := s.Handler()
+
+	// Valid envelopes, boundary abuse, and structural garbage.
+	seeds := []string{
+		`{"window":{"min_x":0,"min_y":0,"max_x":1,"max_y":1}}`,
+		`{"disk":{"center":{"x":0.5,"y":0.5},"radius":0.25}}`,
+		`{"window":{"min_x":0,"min_y":0,"max_x":1,"max_y":1},"count_only":true,"trace":true}`,
+		`{"window":{"min_x":0,"min_y":0,"max_x":1,"max_y":1},"estimate":true,"limit":3}`,
+		`{"window":{"min_x":0,"min_y":0,"max_x":1,"max_y":1},"exact":true,"mode":"avoid"}`,
+		`{"window":{"min_x":1,"min_y":1,"max_x":0,"max_y":0}}`,
+		`{"window":{"min_x":"NaN"}}`,
+		`{"disk":{"center":{"x":1e308,"y":-1e308},"radius":1e308}}`,
+		`{"disk":{"center":{"x":0,"y":0},"radius":-1}}`,
+		`{"window":{},"disk":{}}`,
+		`{"mode":"bogus","window":{"min_x":0,"min_y":0,"max_x":1,"max_y":1}}`,
+		`{"limit":-5,"window":{"min_x":0,"min_y":0,"max_x":1,"max_y":1}}`,
+		`{"window":{"min_x":0,"min_y":0,"max_x":1,"max_y":1},"limit":99999999}`,
+		`{`, `null`, `[]`, `""`, `0`, "\x00\x01\x02", `{"window":null}`,
+		`{"window":{"min_x":0,"min_y":0,"max_x":1,"max_y":1},"trace":true,"count_only":true,"exact":true}`,
+	}
+	for _, seed := range seeds {
+		f.Add([]byte(seed), true)
+		f.Add([]byte(seed), false)
+	}
+
+	f.Fuzz(func(t *testing.T, body []byte, window bool) {
+		path := "/v1/disk"
+		if window {
+			path = "/v1/window"
+		}
+		req := httptest.NewRequest("POST", path, bytes.NewReader(body))
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req)
+
+		if w.Code >= 500 {
+			t.Fatalf("%s: status %d for body %q: %s", path, w.Code, body, w.Body.String())
+		}
+		var decoded map[string]any
+		if err := json.Unmarshal(w.Body.Bytes(), &decoded); err != nil {
+			t.Fatalf("%s: status %d with non-JSON body %q (request %q)",
+				path, w.Code, w.Body.String(), body)
+		}
+		switch {
+		case w.Code == http.StatusOK:
+			if _, ok := decoded["count"]; !ok {
+				t.Fatalf("%s: 200 response without count: %s", path, w.Body.String())
+			}
+		case w.Code >= 400:
+			if _, ok := decoded["error"]; !ok {
+				t.Fatalf("%s: status %d without error field: %s", path, w.Code, w.Body.String())
+			}
+		default:
+			t.Fatalf("%s: unexpected status %d: %s", path, w.Code, w.Body.String())
+		}
+	})
+}

@@ -170,8 +170,11 @@ type chunkSpanJSON struct {
 // core counters are zero and Shards carries the per-shard fan-out spans
 // instead. The schema is documented in docs/OBSERVABILITY.md.
 type traceJSON struct {
-	Kind                 string          `json:"kind"`
-	ElapsedUS            int64           `json:"elapsed_us"`
+	Kind      string `json:"kind"`
+	ElapsedUS int64  `json:"elapsed_us"`
+	// QueueWaitUS is the time this request spent queued for admission
+	// before evaluation started (0 on the uncontended fast path).
+	QueueWaitUS          int64           `json:"queue_wait_us,omitempty"`
 	Shards               []shardSpanJSON `json:"shards,omitempty"`
 	Parallel             bool            `json:"parallel,omitempty"`
 	Chunks               []chunkSpanJSON `json:"chunks,omitempty"`
@@ -464,13 +467,22 @@ func (s *Server) handleWindow(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	view, finish := s.beginQuery(w, r, "window", req.Trace)
 	ctx := r.Context()
+	rect := req.Rect.toRect()
+	// Legacy window semantics count every match regardless of the limit,
+	// so the full estimate prices the request.
+	release, queueWait, admitted := s.admit(ctx, w, classRead, func() float64 {
+		return s.estimateWindow(rect)
+	})
+	if !admitted {
+		return
+	}
+	defer release()
+	view, finish := s.beginQuery(w, r, "window", req.Trace)
 	if ctx.Err() != nil {
 		writeTimeout(w)
 		return
 	}
-	rect := req.Rect.toRect()
 	resp := rangeResponse{}
 	start := time.Now()
 
@@ -531,6 +543,9 @@ func (s *Server) handleWindow(w http.ResponseWriter, r *http.Request) {
 	}
 	resp.ElapsedUS = time.Since(start).Microseconds()
 	resp.Trace = finish()
+	if resp.Trace != nil {
+		resp.Trace.QueueWaitUS = queueWait.Microseconds()
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -556,6 +571,15 @@ func (s *Server) handleDisk(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	center := twolayer.Point{X: req.Center.X, Y: req.Center.Y}
+	disk := twolayer.Disk{Center: center, Radius: req.Radius}
+	release, queueWait, admitted := s.admit(r.Context(), w, classRead, func() float64 {
+		return s.estimateWindow(costRect(twolayer.Query{Disk: &disk}))
+	})
+	if !admitted {
+		return
+	}
+	defer release()
 	view, finish := s.beginQuery(w, r, "disk", req.Trace)
 	if r.Context().Err() != nil {
 		// Disk evaluation has no early-exit hook; honor an already
@@ -563,7 +587,6 @@ func (s *Server) handleDisk(w http.ResponseWriter, r *http.Request) {
 		writeTimeout(w)
 		return
 	}
-	center := twolayer.Point{X: req.Center.X, Y: req.Center.Y}
 	resp := rangeResponse{}
 	start := time.Now()
 
@@ -580,7 +603,6 @@ func (s *Server) handleDisk(w http.ResponseWriter, r *http.Request) {
 			resp.Truncated = true
 		}
 	}
-	disk := twolayer.Disk{Center: center, Radius: req.Radius}
 	q := twolayer.Query{Disk: &disk, Exact: req.Exact, Mode: twolayer.RefineAvoidPlus}
 	if _, err := view.Search(q, func(id twolayer.ID, mbr twolayer.Rect) bool {
 		if req.Exact {
@@ -595,6 +617,9 @@ func (s *Server) handleDisk(w http.ResponseWriter, r *http.Request) {
 	}
 	resp.ElapsedUS = time.Since(start).Microseconds()
 	resp.Trace = finish()
+	if resp.Trace != nil {
+		resp.Trace.QueueWaitUS = queueWait.Microseconds()
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -616,6 +641,13 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// kNN work scales with k and density, not a window estimate; admit
+	// with no cost hint (priced at the class EWMA).
+	release, queueWait, admitted := s.admit(r.Context(), w, classRead, nil)
+	if !admitted {
+		return
+	}
+	defer release()
 	view, finish := s.beginQuery(w, r, "knn", req.Trace)
 	if r.Context().Err() != nil {
 		writeTimeout(w)
@@ -637,6 +669,9 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 		resp.Neighbors[i] = neighborJSON{ID: n.ID, Distance: n.Dist}
 	}
 	resp.Trace = finish()
+	if resp.Trace != nil {
+		resp.Trace.QueueWaitUS = queueWait.Microseconds()
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -674,6 +709,16 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("batch of %d queries exceeds the maximum of %d", n, MaxBatchQueries))
 		return
 	}
+
+	// A batch's cost scales with its query count, so the count is the
+	// cost hint within the batch class.
+	release, _, admitted := s.admit(r.Context(), w, classBatch, func() float64 {
+		return float64(n)
+	})
+	if !admitted {
+		return
+	}
+	defer release()
 
 	// Batches run uninstrumented on the shared index (or one pinned live
 	// snapshot): the tiles-based strategy interleaves queries across
@@ -860,12 +905,43 @@ type shardsJSON struct {
 	PerShard           []shardStatJSON `json:"per_shard"`
 }
 
+// admissionClassJSON is one endpoint class's slice of the "admission"
+// stats section: its configured limits, current occupancy, and outcome
+// totals (same naming conventions as liveStatsJSON).
+type admissionClassJSON struct {
+	MaxInflight   int    `json:"max_inflight"`
+	QueueDepth    int    `json:"queue_depth"`
+	Inflight      int64  `json:"inflight"`
+	Queued        int64  `json:"queued"`
+	Admitted      uint64 `json:"admitted_total"`
+	ShedQueueFull uint64 `json:"shed_queue_full_total"`
+	ShedDeadline  uint64 `json:"shed_deadline_total"`
+	ShedExpired   uint64 `json:"shed_expired_total"`
+}
+
+// admissionBacklogJSON reports the mutation-backpressure half of the
+// overload valve (live modes only): the apply backlog against its bound
+// and how many submissions the bound rejected.
+type admissionBacklogJSON struct {
+	PendingMutations int64  `json:"pending_mutations"`
+	Limit            int    `json:"limit"`
+	Rejected         uint64 `json:"rejected_total"`
+}
+
+// admissionJSON is the "admission" stats section, present when
+// admission control is enabled (Config.MaxInflight >= 0).
+type admissionJSON struct {
+	Classes map[string]admissionClassJSON `json:"classes"`
+	Backlog *admissionBacklogJSON         `json:"backlog,omitempty"`
+}
+
 type statsResponse struct {
 	Index           indexInfoJSON   `json:"index"`
 	Partitions      partitionsJSON  `json:"partitions"`
 	Shards          *shardsJSON     `json:"shards,omitempty"`
 	Live            *liveStatsJSON  `json:"live,omitempty"`
 	Durability      *durabilityJSON `json:"durability,omitempty"`
+	Admission       *admissionJSON  `json:"admission,omitempty"`
 	StatsEnabled    bool            `json:"stats_enabled"`
 	TracingEnabled  bool            `json:"tracing_enabled"`
 	QueriesObserved int64           `json:"queries_observed"`
@@ -934,6 +1010,33 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			LogFailed:              ds.Failed,
 		}
 	}
+	var admissionSec *admissionJSON
+	if s.adm != nil {
+		admissionSec = &admissionJSON{
+			Classes: make(map[string]admissionClassJSON, numClasses),
+		}
+		for c := admissionClass(0); c < numClasses; c++ {
+			g := s.adm.gates[c]
+			admissionSec.Classes[g.name] = admissionClassJSON{
+				MaxInflight:   g.maxInflight,
+				QueueDepth:    g.queueDepth,
+				Inflight:      g.inflight.Load(),
+				Queued:        g.queued.Load(),
+				Admitted:      g.admitted.Load(),
+				ShedQueueFull: g.shed[shedQueueFull-1].Load(),
+				ShedDeadline:  g.shed[shedDeadline-1].Load(),
+				ShedExpired:   g.shed[shedExpired-1].Load(),
+			}
+		}
+		if s.mut != nil {
+			ls := s.mut.Stats()
+			admissionSec.Backlog = &admissionBacklogJSON{
+				PendingMutations: ls.Pending,
+				Limit:            ls.BacklogLimit,
+				Rejected:         ls.Rejected,
+			}
+		}
+	}
 	ps := idx.PartitionStats()
 	var classEntries classCountsJSON
 	classEntries.A = int64(ps.ClassCounts[0])
@@ -966,6 +1069,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Shards:          shards,
 		Live:            live,
 		Durability:      durability,
+		Admission:       admissionSec,
 		StatsEnabled:    s.cfg.CollectStats,
 		TracingEnabled:  s.cfg.EnableTracing,
 		QueriesObserved: s.agg.Queries(),
@@ -989,6 +1093,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 // handleCheckpoint (POST /checkpoint, durable mode) forces a checkpoint
 // of the current snapshot and prunes the log segments it covers.
 func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	release, _, admitted := s.admit(r.Context(), w, classMutate, nil)
+	if !admitted {
+		return
+	}
+	defer release()
 	start := time.Now()
 	epoch, err := s.ckpt.Checkpoint()
 	if err != nil {

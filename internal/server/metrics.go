@@ -50,6 +50,11 @@ type Metrics struct {
 	traced     *obsv.Counter
 	slow       *obsv.Counter
 	buildDur   *obsv.Gauge
+
+	// admQueueWait is the only write-side admission instrument; the rest
+	// of the twolayer_admission_* group reads the gates' own counters at
+	// scrape time.
+	admQueueWait *obsv.HistogramVec
 }
 
 // partitionCache memoizes the O(occupied tiles) partition walk between
@@ -114,6 +119,47 @@ func newMetrics(s *Server, endpointNames []string) *Metrics {
 		"Queries evaluated with per-request tracing attached.")
 	m.slow = r.Counter("twolayer_slow_queries_total",
 		"Queries at or above the slow-query threshold (logged with their trace).")
+
+	// ---- admission group --------------------------------------------------
+	// Registered only when admission control is on (Config.MaxInflight
+	// >= 0, the default). See docs/SERVER.md#overload-behavior.
+	if s.adm != nil {
+		m.admQueueWait = r.HistogramVec("twolayer_admission_queue_wait_seconds",
+			"Time admitted requests spent in the admission wait queue (0 for fast-path admissions), per class.",
+			nil, "class")
+		inflight := r.GaugeVecFunc("twolayer_admission_inflight",
+			"Requests currently holding an in-flight slot, per class.", "class")
+		queued := r.GaugeVecFunc("twolayer_admission_queued",
+			"Requests currently waiting in the admission queue, per class.", "class")
+		admitted := r.CounterVecFunc("twolayer_admission_admitted_total",
+			"Requests admitted past the gate, per class.", "class")
+		shed := r.CounterVecFunc("twolayer_admission_shed_total",
+			"Requests shed by admission control, per class and reason (queue_full, deadline, expired).",
+			"class", "reason")
+		for c := admissionClass(0); c < numClasses; c++ {
+			g := s.adm.gates[c]
+			m.admQueueWait.With(g.name)
+			inflight.Add(func() float64 { return float64(g.inflight.Load()) }, g.name)
+			queued.Add(func() float64 { return float64(g.queued.Load()) }, g.name)
+			admitted.Add(func() float64 { return float64(g.admitted.Load()) }, g.name)
+			for ri, rn := range shedReasonNames {
+				ri := ri
+				shed.Add(func() float64 { return float64(g.shed[ri].Load()) }, g.name, rn)
+			}
+		}
+		if s.mut != nil {
+			live := s.mut
+			r.GaugeFunc("twolayer_admission_backlog",
+				"Mutations accepted but not yet published (summed across shards); the quantity MaxBacklog bounds.",
+				func() float64 { return float64(live.Stats().Pending) })
+			r.GaugeFunc("twolayer_admission_backlog_limit",
+				"Configured per-shard mutation backlog bound (twolayer.LiveOptions.MaxBacklog); 0 = unbounded.",
+				func() float64 { return float64(live.Stats().BacklogLimit) })
+			r.CounterFunc("twolayer_admission_backlog_rejected_total",
+				"Mutation submissions rejected with 503 because the apply backlog was full.",
+				func() float64 { return float64(live.Stats().Rejected) })
+		}
+	}
 
 	// ---- index & partition group -----------------------------------------
 	m.buildDur = r.Gauge("twolayer_index_build_seconds",

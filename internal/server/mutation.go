@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 
 	twolayer "github.com/twolayer/twolayer"
@@ -55,12 +56,24 @@ type bulkResponse struct {
 	ElapsedUS int64  `json:"elapsed_us"`
 }
 
+// mutationBacklogRetryAfter is the backoff hint on a backlog-full 503:
+// long enough for the apply loop to publish at least one batch.
+const mutationBacklogRetryAfter = 1
+
 // writeMutationError maps a Live submission error to an HTTP status:
 // validation failures are the client's fault (400), a closed Live means
-// the server is shutting down (503).
+// the server is shutting down (503), and a full apply backlog is
+// transient overload — 503 with a Retry-After backoff hint so clients
+// back off instead of resubmitting into the same wall.
 func writeMutationError(w http.ResponseWriter, err error) {
 	if errors.Is(err, twolayer.ErrLiveClosed) {
 		writeError(w, http.StatusServiceUnavailable, "index is closed for updates")
+		return
+	}
+	if errors.Is(err, twolayer.ErrBacklogFull) {
+		w.Header().Set("Retry-After", strconv.Itoa(mutationBacklogRetryAfter))
+		writeError(w, http.StatusServiceUnavailable,
+			"mutation backlog is full: "+err.Error())
 		return
 	}
 	writeError(w, http.StatusBadRequest, err.Error())
@@ -75,6 +88,11 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, msg)
 		return
 	}
+	release, _, admitted := s.admit(r.Context(), w, classMutate, nil)
+	if !admitted {
+		return
+	}
+	defer release()
 	start := time.Now()
 	epoch, err := s.mut.Insert(req.ID, req.MBR.toRect())
 	if err != nil {
@@ -96,6 +114,11 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, msg)
 		return
 	}
+	release, _, admitted := s.admit(r.Context(), w, classMutate, nil)
+	if !admitted {
+		return
+	}
+	defer release()
 	start := time.Now()
 	found, epoch, err := s.mut.Delete(req.ID, req.MBR.toRect())
 	if err != nil {
@@ -143,6 +166,15 @@ func (s *Server) handleBulk(w http.ResponseWriter, r *http.Request) {
 		muts[i].ID = m.ID
 		muts[i].MBR = m.MBR.toRect()
 	}
+	// A bulk's cost is its mutation count — under a saturated mutate gate
+	// the large rewrites shed before the single-object updates.
+	release, _, admitted := s.admit(r.Context(), w, classMutate, func() float64 {
+		return float64(len(muts))
+	})
+	if !admitted {
+		return
+	}
+	defer release()
 	start := time.Now()
 	res, err := s.mut.Apply(muts)
 	if err != nil {

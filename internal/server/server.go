@@ -90,6 +90,21 @@ type Config struct {
 	// DefaultMaxBodyBytes.
 	MaxBodyBytes int64
 
+	// MaxInflight caps concurrently evaluating requests per endpoint
+	// class — read (window/disk/knn), mutate (insert/delete/bulk/
+	// checkpoint), and batch each get their own semaphore of this size.
+	// Requests beyond it join a bounded FIFO wait queue or are shed with
+	// 429 + Retry-After (see docs/SERVER.md#overload-behavior). 0 means
+	// the default of max(16, 4×GOMAXPROCS); negative disables admission
+	// control entirely.
+	MaxInflight int
+
+	// QueueDepth bounds each class's admission wait queue. Requests
+	// arriving with the queue full are shed immediately. 0 means the
+	// default of 8× the effective MaxInflight; negative means no queue
+	// (shed as soon as all slots are busy).
+	QueueDepth int
+
 	// CollectStats, when true, runs single queries on instrumented views
 	// and aggregates their core counters for GET /stats.
 	CollectStats bool
@@ -179,6 +194,7 @@ type Server struct {
 	shardedLive *twolayer.ShardedLive
 	mut         mutator      // non-nil in any live mode
 	ckpt        checkpointer // non-nil in any durable mode
+	adm         *admission   // nil when admission control is disabled
 	metrics     *Metrics
 	agg         *twolayer.AtomicStats
 	mux         *http.ServeMux
@@ -224,6 +240,9 @@ func New(cfg Config) *Server {
 	}
 	if s.shardedLive != nil {
 		s.mut = s.shardedLive
+	}
+	if cfg.MaxInflight >= 0 {
+		s.adm = newAdmission(cfg.MaxInflight, cfg.QueueDepth)
 	}
 	names := []string{
 		"query/window", "query/disk", "query/knn", "query/batch",

@@ -141,8 +141,29 @@ func (s *Server) handleV1Range(w http.ResponseWriter, r *http.Request, kind stri
 	if !ok {
 		return
 	}
-	view, finish := s.beginQuery(w, r, kind, env.Trace)
 	ctx := r.Context()
+	// Admission: the cost hint is the planner's cardinality estimate —
+	// the full window (or the disk's bounding box) for streaming
+	// evaluations, a token cost for count-only non-exact windows, which
+	// the O(perimeter) pushdown answers without touching entries. Under
+	// load the gate sheds the expensive streams first and keeps the
+	// cheap counts flowing.
+	release, queueWait, admitted := s.admit(ctx, w, classRead, func() float64 {
+		if q.Window != nil && env.CountOnly && !q.Exact {
+			return 1
+		}
+		est := s.estimateWindow(costRect(q))
+		if !env.CountOnly {
+			// The limit caps delivery, so it caps the cost too.
+			return minf(est, float64(limit))
+		}
+		return est
+	})
+	if !admitted {
+		return
+	}
+	defer release()
+	view, finish := s.beginQuery(w, r, kind, env.Trace)
 	if ctx.Err() != nil {
 		writeTimeout(w)
 		return
@@ -219,5 +240,8 @@ func (s *Server) handleV1Range(w http.ResponseWriter, r *http.Request, kind stri
 	}
 	resp.ElapsedUS = time.Since(start).Microseconds()
 	resp.Trace = finish()
+	if resp.Trace != nil {
+		resp.Trace.QueueWaitUS = queueWait.Microseconds()
+	}
 	writeJSON(w, http.StatusOK, resp)
 }

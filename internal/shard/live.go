@@ -26,6 +26,9 @@ type Live struct {
 	lives []*core.Live
 	met   *metrics
 	size  atomic.Int64
+	// rejected counts batches refused by the backpressure pre-flight in
+	// Apply (per-shard rejections are counted by the shards themselves).
+	rejected atomic.Uint64
 }
 
 // NewLive returns an empty updatable sharded engine over the given
@@ -123,6 +126,24 @@ func (l *Live) Apply(muts []core.Mutation) (core.ApplyResult, error) {
 		}
 	}
 
+	// Backpressure pre-flight: if any involved shard's backlog is already
+	// full, reject the whole batch before dispatching anything, so the
+	// common overload case never half-applies a batch across shards. The
+	// check is advisory (a shard can fill between check and dispatch —
+	// then the per-shard rejection below still surfaces), but it makes
+	// rejection atomic in the steady overloaded state.
+	for s := 0; s < S; s++ {
+		if len(perShard[s]) == 0 {
+			continue
+		}
+		if st := l.lives[s].Stats(); st.BacklogLimit > 0 && st.Pending >= int64(st.BacklogLimit) {
+			l.rejected.Add(1)
+			return core.ApplyResult{}, fmt.Errorf(
+				"shard %d: %w: %d pending, limit %d",
+				s, core.ErrBacklogFull, st.Pending, st.BacklogLimit)
+		}
+	}
+
 	results := make([]core.ApplyResult, S)
 	errs := make([]error, S)
 	var wg sync.WaitGroup
@@ -191,7 +212,10 @@ func (l *Live) Shards() int { return len(l.lives) }
 func (l *Live) ShardLive(s int) *core.Live { return l.lives[s] }
 
 // Stats aggregates the per-shard apply-loop counters: sums for
-// throughput counters, the maximum for Epoch and LastPublish, and the
+// throughput counters (Pending and Rejected included — backpressure is
+// enforced per shard, so the totals describe engine-wide pressure), the
+// maximum for Epoch and LastPublish, the per-shard value for
+// BacklogLimit (every shard is configured identically), and the
 // engine-wide distinct count for Objects.
 func (l *Live) Stats() core.LiveStats {
 	var out core.LiveStats
@@ -208,8 +232,13 @@ func (l *Live) Stats() core.LiveStats {
 		if st.LastPublish > out.LastPublish {
 			out.LastPublish = st.LastPublish
 		}
+		if st.BacklogLimit > out.BacklogLimit {
+			out.BacklogLimit = st.BacklogLimit
+		}
+		out.Rejected += st.Rejected
 		out.PublishTotal += st.PublishTotal
 	}
+	out.Rejected += l.rejected.Load()
 	out.Objects = l.Len()
 	return out
 }

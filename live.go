@@ -11,6 +11,12 @@ import (
 // index.
 var ErrLiveClosed = core.ErrLiveClosed
 
+// ErrBacklogFull is returned for mutations submitted while the apply
+// loop's pending backlog is at LiveOptions.MaxBacklog (per shard on a
+// sharded engine). Nothing is enqueued; back off and retry once the
+// backlog drains.
+var ErrBacklogFull = core.ErrBacklogFull
+
 // LiveOptions tune a Live index's single-writer apply loop.
 type LiveOptions struct {
 	// MaxBatch caps the mutations applied per published snapshot. Larger
@@ -27,6 +33,12 @@ type LiveOptions struct {
 	// rebuilds honor Options.BuildThreads, so a multi-core server can
 	// redecompose large indices in parallel inside the apply loop.
 	RebuildEvery int
+	// MaxBacklog bounds the accepted-but-unpublished mutation backlog
+	// (per shard on a sharded engine): a submission arriving while the
+	// backlog is at the bound fails immediately with ErrBacklogFull
+	// instead of queuing, so a mutation flood sheds load instead of
+	// growing memory without bound. 0 means unbounded.
+	MaxBacklog int
 }
 
 func (o LiveOptions) toCore() core.LiveOptions {
@@ -34,6 +46,7 @@ func (o LiveOptions) toCore() core.LiveOptions {
 		MaxBatch:     o.MaxBatch,
 		QueueDepth:   o.QueueDepth,
 		RebuildEvery: o.RebuildEvery,
+		MaxBacklog:   o.MaxBacklog,
 	}
 }
 
